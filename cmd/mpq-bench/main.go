@@ -1,0 +1,136 @@
+// Command mpq-bench regenerates every table and figure of the paper's
+// evaluation (§4): the Table 1 experimental design, the time-ratio
+// CDFs of Figs. 3, 5, 8 and 9, the experimental-aggregation-benefit
+// boxes of Figs. 4, 6, 7 and 10, and the Fig. 11 handover series.
+//
+// The default settings subsample the grids for quick runs; pass -full
+// for the paper's 253 scenarios × 3 repetitions per class (hours of
+// CPU time on a small machine).
+//
+// Usage:
+//
+//	mpq-bench                  # every experiment, subsampled
+//	mpq-bench -exp fig3        # one experiment
+//	mpq-bench -full -exp fig4  # paper-scale grid for one figure
+//	mpq-bench -cdf -exp fig5   # also dump raw CDF series for plotting
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpquic/internal/expdesign"
+)
+
+func main() {
+	var (
+		exp       = flag.String("exp", "all", "experiment: all, table1, fig3..fig11")
+		scenarios = flag.Int("scenarios", 40, "scenarios per class (paper: 253)")
+		reps      = flag.Int("reps", 1, "repetitions per point, median taken (paper: 3)")
+		workers   = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
+		full      = flag.Bool("full", false, "paper-scale: 253 scenarios, 3 repetitions")
+		dumpCDF   = flag.Bool("cdf", false, "dump raw CDF series for the ratio figures")
+		progress  = flag.Bool("progress", true, "print progress to stderr")
+	)
+	flag.Parse()
+	if *full {
+		*scenarios = expdesign.PaperScenarioCount
+		*reps = expdesign.Repetitions
+	}
+
+	run := func(name string) bool { return *exp == "all" || *exp == name }
+	prog := func(done, total int) {
+		if *progress {
+			fmt.Fprintf(os.Stderr, "\r  %d/%d scenarios", done, total)
+			if done == total {
+				fmt.Fprintln(os.Stderr)
+			}
+		}
+	}
+	grid := func(class expdesign.Class, size uint64) expdesign.FigureData {
+		start := time.Now()
+		fd := expdesign.RunGrid(expdesign.GridConfig{
+			Class:     class,
+			Scenarios: *scenarios,
+			Size:      size,
+			Reps:      *reps,
+			Workers:   *workers,
+			Progress:  prog,
+		})
+		if *progress {
+			fmt.Fprintf(os.Stderr, "  (%s grid took %v)\n", class.Name, time.Since(start).Round(time.Second))
+		}
+		return fd
+	}
+	dump := func(fd expdesign.FigureData) {
+		if !*dumpCDF {
+			return
+		}
+		single, multi := fd.TimeRatios()
+		fmt.Println("# CDF series: Time TCP/QUIC")
+		fmt.Print(expdesign.CDFSeries(single))
+		fmt.Println("# CDF series: Time MPTCP/MPQUIC")
+		fmt.Print(expdesign.CDFSeries(multi))
+	}
+
+	if run("table1") {
+		fmt.Println(expdesign.ReportTable1(*scenarios))
+	}
+
+	// Figures 3-8: 20 MB downloads across the four classes. One grid
+	// per class serves both its CDF figure and its benefit figure.
+	type figPair struct {
+		class    expdesign.Class
+		cdfName  string
+		cdfTitle string
+		aggName  string
+		aggTitle string
+	}
+	pairs := []figPair{
+		{expdesign.LowBDPNoLoss, "fig3", "Figure 3", "fig4", "Figure 4"},
+		{expdesign.LowBDPLosses, "fig5", "Figure 5", "fig6", "Figure 6"},
+		{expdesign.HighBDPNoLoss, "", "", "fig7", "Figure 7"},
+		{expdesign.HighBDPLosses, "fig8", "Figure 8", "", ""},
+	}
+	for _, p := range pairs {
+		wantCDF := p.cdfName != "" && run(p.cdfName)
+		wantAgg := p.aggName != "" && run(p.aggName)
+		if !wantCDF && !wantAgg {
+			continue
+		}
+		fd := grid(p.class, expdesign.LargeTransfer)
+		if wantCDF {
+			fmt.Println(expdesign.ReportTimeRatioCDF(fd, p.cdfTitle))
+			dump(fd)
+		}
+		if wantAgg {
+			fmt.Println(expdesign.ReportAggBenefit(fd, p.aggTitle))
+		}
+	}
+
+	// Figures 9-10: 256 KB short transfers, low-BDP-no-loss.
+	if run("fig9") || run("fig10") {
+		fd := grid(expdesign.LowBDPNoLoss, expdesign.ShortTransfer)
+		if run("fig9") {
+			fmt.Println(expdesign.ReportTimeRatioCDF(fd, "Figure 9"))
+			dump(fd)
+		}
+		if run("fig10") {
+			fmt.Println(expdesign.ReportAggBenefit(fd, "Figure 10"))
+		}
+	}
+
+	// Figure 11: network handover.
+	if run("fig11") {
+		res := expdesign.RunHandover(expdesign.DefaultHandoverConfig())
+		fmt.Println(expdesign.ReportHandover(res, "Figure 11"))
+	}
+
+	if !strings.HasPrefix(*exp, "fig") && *exp != "all" && *exp != "table1" {
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,39 @@
+// Command mpq-handover regenerates Fig. 11: request/response traffic
+// over Multipath QUIC with the initial path failing mid-connection.
+//
+//	mpq-handover                 # the paper's parameters
+//	mpq-handover -no-paths-frame # ablation: without the PATHS signal
+package main
+
+import (
+	"flag"
+	"fmt"
+	"time"
+
+	"mpquic/internal/expdesign"
+)
+
+func main() {
+	var (
+		rtt0     = flag.Duration("rtt0", 15*time.Millisecond, "initial path RTT")
+		rtt1     = flag.Duration("rtt1", 25*time.Millisecond, "second path RTT")
+		capMbps  = flag.Float64("cap", 10, "path capacity [Mbps]")
+		failAt   = flag.Duration("fail-at", 3*time.Second, "initial path failure time")
+		duration = flag.Duration("duration", 15*time.Second, "request train duration")
+		noPaths  = flag.Bool("no-paths-frame", false, "ablation: disable the PATHS frame on failure")
+		seed     = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	hc := expdesign.HandoverConfig{
+		InitialRTT:          *rtt0,
+		SecondRTT:           *rtt1,
+		CapacityMbps:        *capMbps,
+		FailAt:              *failAt,
+		Duration:            *duration,
+		PathsFrameOnFailure: !*noPaths,
+		Seed:                *seed,
+	}
+	res := expdesign.RunHandover(hc)
+	fmt.Print(expdesign.ReportHandover(res, "Network handover over Multipath QUIC"))
+}

@@ -1,0 +1,91 @@
+// Command mpq-trace runs one (MP)QUIC download with full protocol
+// tracing — the reproduction's qlog. Events (packets, acks, losses,
+// congestion windows, path lifecycle) stream to stdout as text or
+// newline-delimited JSON.
+//
+//	mpq-trace -size 1 -json > transfer.qlog
+//	mpq-trace -events rto_fired,path_potentially_failed -kill-at 2s
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"mpquic/internal/apps"
+	"mpquic/internal/core"
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+	"mpquic/internal/trace"
+)
+
+func main() {
+	var (
+		sizeMB  = flag.Float64("size", 1, "transfer size in MB")
+		jsonOut = flag.Bool("json", false, "emit newline-delimited JSON instead of text")
+		events  = flag.String("events", "", "comma-separated event filter (empty = all)")
+		side    = flag.String("side", "server", "which endpoint to trace: client or server")
+		killAt  = flag.Duration("kill-at", 0, "kill path 0 at this time (0 = never)")
+		cap0    = flag.Float64("cap0", 10, "path 0 capacity [Mbps]")
+		cap1    = flag.Float64("cap1", 10, "path 1 capacity [Mbps]")
+		rtt0    = flag.Duration("rtt0", 30*time.Millisecond, "path 0 RTT")
+		rtt1    = flag.Duration("rtt1", 50*time.Millisecond, "path 1 RTT")
+		loss0   = flag.Float64("loss0", 0, "path 0 loss rate")
+		loss1   = flag.Float64("loss1", 0, "path 1 loss rate")
+		seed    = flag.Uint64("seed", 1, "simulation seed")
+	)
+	flag.Parse()
+
+	var tracer trace.Tracer
+	if *jsonOut {
+		tracer = trace.NewJSON(os.Stdout)
+	} else {
+		tracer = trace.NewText(os.Stdout)
+	}
+	if *events != "" {
+		var types []trace.EventType
+		for _, e := range strings.Split(*events, ",") {
+			types = append(types, trace.EventType(strings.TrimSpace(e)))
+		}
+		tracer = trace.NewFilter(tracer, types...)
+	}
+
+	clock := sim.NewClock()
+	clock.Limit = 200_000_000
+	tp := netem.NewTwoPath(clock, sim.NewRand(*seed), [2]netem.PathSpec{
+		{CapacityMbps: *cap0, RTT: *rtt0, QueueDelay: 100 * time.Millisecond, LossRate: *loss0},
+		{CapacityMbps: *cap1, RTT: *rtt1, QueueDelay: 100 * time.Millisecond, LossRate: *loss1},
+	})
+	clientCfg, serverCfg := core.DefaultConfig(), core.DefaultConfig()
+	switch *side {
+	case "client":
+		clientCfg.Tracer = tracer
+	case "server":
+		serverCfg.Tracer = tracer
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -side %q\n", *side)
+		os.Exit(2)
+	}
+
+	lis := core.Listen(tp.Net, serverCfg, tp.ServerAddrs[:])
+	apps.NewGetServer(lis)
+	client := core.Dial(tp.Net, clientCfg, core.NewConnID(*seed), tp.ClientAddrs[:], tp.ServerAddrs[:])
+	var res *apps.GetResult
+	apps.NewGetClient(client, uint64(*sizeMB*(1<<20)), func() time.Duration { return clock.Now().Duration() },
+		func(r apps.GetResult) { res = &r; clock.Stop() })
+	if *killAt > 0 {
+		clock.At(sim.Time(*killAt), func() { tp.KillPath(0) })
+	}
+	if err := clock.RunUntil(sim.Time(10 * time.Minute)); err != nil {
+		fmt.Fprintln(os.Stderr, "sim:", err)
+		os.Exit(1)
+	}
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "transfer did not complete")
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "completed in %v (%.2f Mbps)\n",
+		res.Elapsed().Round(time.Millisecond), res.GoodputBps()/1e6)
+}

@@ -1,0 +1,3 @@
+module mpquic
+
+go 1.22

@@ -1,0 +1,101 @@
+// Package cc implements the congestion controllers the paper compares:
+// NewReno (as a reference), CUBIC (used by both single-path TCP and
+// QUIC, §4.1), and the OLIA coupled multipath controller (used by both
+// MPTCP and MPQUIC, §3 Congestion Control).
+//
+// Controllers are window-based and byte-counted. Pacing, in-flight
+// accounting and once-per-window congestion-event filtering are the
+// transport's job; controllers only maintain the window.
+package cc
+
+import "time"
+
+// Controller is a per-path congestion controller.
+type Controller interface {
+	// OnPacketSent informs the controller bytes left the sender.
+	OnPacketSent(bytes int)
+	// OnPacketAcked credits newly acknowledged bytes. rtt is the
+	// path's current smoothed RTT (used by coupled controllers).
+	OnPacketAcked(bytes int, rtt time.Duration)
+	// OnCongestionEvent applies one multiplicative decrease. Callers
+	// must filter duplicate signals from the same loss episode (at
+	// most one event per window).
+	OnCongestionEvent()
+	// OnRTO collapses the window after a retransmission timeout.
+	OnRTO()
+	// Cwnd reports the congestion window in bytes.
+	Cwnd() int
+	// InSlowStart reports whether the controller is in slow start.
+	InSlowStart() bool
+	// Name identifies the algorithm for traces.
+	Name() string
+}
+
+// Default window constants (in MSS units), matching quic-go and Linux.
+const (
+	// InitialWindowPackets is the initial congestion window.
+	InitialWindowPackets = 10
+	// MinWindowPackets floors the window after decreases.
+	MinWindowPackets = 2
+)
+
+// Reno is byte-counted NewReno: slow start doubling, AIMD congestion
+// avoidance, half-window decrease.
+type Reno struct {
+	mss      int
+	cwnd     int
+	ssthresh int
+	acked    int // bytes accumulated toward the next CA increase
+	maxCwnd  int
+}
+
+// NewReno returns a NewReno controller for the given MSS.
+func NewReno(mss int) *Reno {
+	return &Reno{
+		mss:      mss,
+		cwnd:     InitialWindowPackets * mss,
+		ssthresh: 1 << 30,
+		maxCwnd:  1 << 30,
+	}
+}
+
+// SetMaxCwnd clamps the window (emulating sendbuf limits).
+func (r *Reno) SetMaxCwnd(b int) { r.maxCwnd = b }
+
+func (r *Reno) Name() string           { return "reno" }
+func (r *Reno) Cwnd() int              { return r.cwnd }
+func (r *Reno) InSlowStart() bool      { return r.cwnd < r.ssthresh }
+func (r *Reno) OnPacketSent(bytes int) {}
+
+func (r *Reno) OnPacketAcked(bytes int, _ time.Duration) {
+	if r.InSlowStart() {
+		r.cwnd += bytes
+	} else {
+		r.acked += bytes
+		if r.acked >= r.cwnd {
+			r.acked -= r.cwnd
+			r.cwnd += r.mss
+		}
+	}
+	if r.cwnd > r.maxCwnd {
+		r.cwnd = r.maxCwnd
+	}
+}
+
+func (r *Reno) OnCongestionEvent() {
+	r.cwnd /= 2
+	if r.cwnd < MinWindowPackets*r.mss {
+		r.cwnd = MinWindowPackets * r.mss
+	}
+	r.ssthresh = r.cwnd
+	r.acked = 0
+}
+
+func (r *Reno) OnRTO() {
+	r.ssthresh = r.cwnd / 2
+	if r.ssthresh < MinWindowPackets*r.mss {
+		r.ssthresh = MinWindowPackets * r.mss
+	}
+	r.cwnd = MinWindowPackets * r.mss
+	r.acked = 0
+}

@@ -1,0 +1,154 @@
+package cc
+
+import "time"
+
+// Lia coordinates the LIA coupled congestion controller (RFC 6356,
+// Wischik et al. NSDI'11) — OLIA's predecessor and the other coupled
+// scheme the paper cites ([48]; §3 leaves "the comparison of other
+// multipath congestion control schemes" to further study, which this
+// implementation enables).
+//
+// Per ACK on path i, the window grows by
+//
+//	min( α·acked/cwnd_total , acked/cwnd_i )
+//
+// with the aggressiveness factor
+//
+//	α = cwnd_total · max_i(cwnd_i/rtt_i²) / (Σ_i cwnd_i/rtt_i)²
+//
+// which equalizes the aggregate against a single TCP flow on the best
+// path.
+type Lia struct {
+	mss   int
+	paths []*LiaPath
+}
+
+// NewLia creates a coordinator.
+func NewLia(mss int) *Lia { return &Lia{mss: mss} }
+
+// LiaPath is the per-path controller; it implements Controller.
+type LiaPath struct {
+	l        *Lia
+	cwnd     int
+	ssthresh int
+	maxCwnd  int
+	srtt     time.Duration
+	acked    float64 // fractional window growth accumulator (bytes)
+	closed   bool
+}
+
+// AddPath registers a new path.
+func (l *Lia) AddPath() *LiaPath {
+	p := &LiaPath{
+		l:        l,
+		cwnd:     InitialWindowPackets * l.mss,
+		ssthresh: 1 << 30,
+		maxCwnd:  1 << 30,
+		srtt:     100 * time.Millisecond,
+	}
+	l.paths = append(l.paths, p)
+	return p
+}
+
+// Paths returns live members.
+func (l *Lia) Paths() []*LiaPath {
+	var out []*LiaPath
+	for _, p := range l.paths {
+		if !p.closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// alpha computes RFC 6356's aggressiveness factor.
+func (l *Lia) alpha() float64 {
+	live := l.Paths()
+	if len(live) == 0 {
+		return 1
+	}
+	var total, best, denom float64
+	for _, p := range live {
+		w := float64(p.cwnd) / float64(l.mss)
+		rtt := p.srtt.Seconds()
+		if rtt <= 0 {
+			rtt = 1e-3
+		}
+		total += w
+		if v := w / (rtt * rtt); v > best {
+			best = v
+		}
+		denom += w / rtt
+	}
+	if denom <= 0 {
+		return 1
+	}
+	return total * best / (denom * denom)
+}
+
+// SetMaxCwnd clamps the window.
+func (p *LiaPath) SetMaxCwnd(b int) { p.maxCwnd = b }
+
+// Close removes the path from coupling.
+func (p *LiaPath) Close() { p.closed = true }
+
+func (p *LiaPath) Name() string           { return "lia" }
+func (p *LiaPath) Cwnd() int              { return p.cwnd }
+func (p *LiaPath) InSlowStart() bool      { return p.cwnd < p.ssthresh }
+func (p *LiaPath) OnPacketSent(bytes int) {}
+
+func (p *LiaPath) OnPacketAcked(bytes int, rtt time.Duration) {
+	if rtt > 0 {
+		p.srtt = rtt
+	}
+	if p.InSlowStart() {
+		p.cwnd += bytes
+		if p.cwnd > p.maxCwnd {
+			p.cwnd = p.maxCwnd
+		}
+		return
+	}
+	mss := float64(p.l.mss)
+	var total float64
+	for _, q := range p.l.Paths() {
+		total += float64(q.cwnd)
+	}
+	if total <= 0 || p.cwnd <= 0 {
+		return
+	}
+	coupled := p.l.alpha() * float64(bytes) * mss / total
+	uncoupled := float64(bytes) * mss / float64(p.cwnd)
+	inc := coupled
+	if uncoupled < inc {
+		inc = uncoupled
+	}
+	p.acked += inc
+	if p.acked >= 1 {
+		p.cwnd += int(p.acked)
+		p.acked -= float64(int(p.acked))
+	}
+	if p.cwnd < MinWindowPackets*p.l.mss {
+		p.cwnd = MinWindowPackets * p.l.mss
+	}
+	if p.cwnd > p.maxCwnd {
+		p.cwnd = p.maxCwnd
+	}
+}
+
+func (p *LiaPath) OnCongestionEvent() {
+	p.cwnd /= 2
+	if p.cwnd < MinWindowPackets*p.l.mss {
+		p.cwnd = MinWindowPackets * p.l.mss
+	}
+	p.ssthresh = p.cwnd
+	p.acked = 0
+}
+
+func (p *LiaPath) OnRTO() {
+	p.ssthresh = p.cwnd / 2
+	if p.ssthresh < MinWindowPackets*p.l.mss {
+		p.ssthresh = MinWindowPackets * p.l.mss
+	}
+	p.cwnd = MinWindowPackets * p.l.mss
+	p.acked = 0
+}

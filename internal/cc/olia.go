@@ -1,0 +1,196 @@
+package cc
+
+import "time"
+
+// Olia coordinates the OLIA coupled congestion controller (Khalili et
+// al., CoNEXT 2012) across the paths of one multipath connection. The
+// paper integrates OLIA in MPQUIC because "it provides good
+// performance with MPTCP" (§3, Congestion Control); the evaluation
+// uses it for both MPTCP and MPQUIC.
+//
+// Per ACK on path r, the window grows by
+//
+//	w_r += ( (w_r/rtt_r²) / (Σ_p w_p/rtt_p)² + α_r/w_r ) · acked_bytes·mss
+//
+// (in byte units) where α_r re-balances between the paths currently
+// "best" by loss-free throughput (ℓ_p²/rtt_p) and the paths with the
+// largest windows. On loss, the affected path halves like NewReno.
+type Olia struct {
+	mss   int
+	paths []*OliaPath
+}
+
+// NewOlia creates a coordinator for windows of the given MSS.
+func NewOlia(mss int) *Olia {
+	return &Olia{mss: mss}
+}
+
+// OliaPath is the per-path controller handle; it implements Controller.
+type OliaPath struct {
+	o *Olia
+
+	cwnd     int
+	ssthresh int
+	maxCwnd  int
+	srtt     time.Duration
+
+	// l1 is bytes acked since the last loss; l2 bytes acked between
+	// the previous two losses. ℓ_r = max(l1, l2) per the OLIA paper.
+	l1, l2 float64
+	closed bool
+}
+
+// AddPath registers a new path with the coordinator and returns its
+// controller.
+func (o *Olia) AddPath() *OliaPath {
+	p := &OliaPath{
+		o:        o,
+		cwnd:     InitialWindowPackets * o.mss,
+		ssthresh: 1 << 30,
+		maxCwnd:  1 << 30,
+		srtt:     100 * time.Millisecond, // placeholder until sampled
+	}
+	o.paths = append(o.paths, p)
+	return p
+}
+
+// Paths returns the live (non-closed) path controllers.
+func (o *Olia) Paths() []*OliaPath {
+	var out []*OliaPath
+	for _, p := range o.paths {
+		if !p.closed {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// loss-free throughput proxy: ℓ_r² / rtt_r.
+func (p *OliaPath) rate() float64 {
+	l := p.l1
+	if p.l2 > l {
+		l = p.l2
+	}
+	if l == 0 {
+		l = float64(p.o.mss) // fresh path: nonzero floor
+	}
+	return l * l / p.srtt.Seconds()
+}
+
+// alpha computes α_r for path p given the current path set.
+func (o *Olia) alpha(p *OliaPath) float64 {
+	live := o.Paths()
+	if len(live) < 2 {
+		return 0
+	}
+	// Find the set of best paths (max ℓ²/rtt) and max-window paths.
+	bestRate, maxW := 0.0, 0
+	for _, q := range live {
+		if r := q.rate(); r > bestRate {
+			bestRate = r
+		}
+		if q.cwnd > maxW {
+			maxW = q.cwnd
+		}
+	}
+	var collected, maxWPaths []*OliaPath
+	for _, q := range live {
+		isBest := q.rate() >= bestRate*(1-1e-9)
+		hasMaxW := q.cwnd == maxW
+		if isBest && !hasMaxW {
+			collected = append(collected, q)
+		}
+		if hasMaxW {
+			maxWPaths = append(maxWPaths, q)
+		}
+	}
+	n := float64(len(live))
+	if len(collected) > 0 {
+		for _, q := range collected {
+			if q == p {
+				return 1 / (n * float64(len(collected)))
+			}
+		}
+		for _, q := range maxWPaths {
+			if q == p {
+				return -1 / (n * float64(len(maxWPaths)))
+			}
+		}
+	}
+	return 0
+}
+
+// SetMaxCwnd clamps the path window.
+func (p *OliaPath) SetMaxCwnd(b int) { p.maxCwnd = b }
+
+// Close removes the path from coupling.
+func (p *OliaPath) Close() { p.closed = true }
+
+func (p *OliaPath) Name() string           { return "olia" }
+func (p *OliaPath) Cwnd() int              { return p.cwnd }
+func (p *OliaPath) InSlowStart() bool      { return p.cwnd < p.ssthresh }
+func (p *OliaPath) OnPacketSent(bytes int) {}
+
+func (p *OliaPath) OnPacketAcked(bytes int, rtt time.Duration) {
+	if rtt > 0 {
+		p.srtt = rtt
+	}
+	p.l1 += float64(bytes)
+	if p.InSlowStart() {
+		p.cwnd += bytes
+		if p.cwnd > p.maxCwnd {
+			p.cwnd = p.maxCwnd
+		}
+		return
+	}
+	mss := float64(p.o.mss)
+	rttSec := p.srtt.Seconds()
+	if rttSec <= 0 {
+		rttSec = 1e-3
+	}
+	sum := 0.0
+	for _, q := range p.o.Paths() {
+		qr := q.srtt.Seconds()
+		if qr <= 0 {
+			qr = 1e-3
+		}
+		sum += float64(q.cwnd) / mss / qr
+	}
+	if sum <= 0 {
+		return
+	}
+	w := float64(p.cwnd) / mss // window in packets
+	inc := (w/(rttSec*rttSec))/(sum*sum) + p.o.alpha(p)/w
+	// inc is in packets per packet acked; scale to the acked bytes.
+	deltaBytes := inc * float64(bytes)
+	if deltaBytes > float64(bytes) {
+		deltaBytes = float64(bytes)
+	}
+	p.cwnd += int(deltaBytes)
+	if p.cwnd < MinWindowPackets*p.o.mss {
+		p.cwnd = MinWindowPackets * p.o.mss
+	}
+	if p.cwnd > p.maxCwnd {
+		p.cwnd = p.maxCwnd
+	}
+}
+
+func (p *OliaPath) OnCongestionEvent() {
+	p.l2 = p.l1
+	p.l1 = 0
+	p.cwnd /= 2
+	if p.cwnd < MinWindowPackets*p.o.mss {
+		p.cwnd = MinWindowPackets * p.o.mss
+	}
+	p.ssthresh = p.cwnd
+}
+
+func (p *OliaPath) OnRTO() {
+	p.l2 = p.l1
+	p.l1 = 0
+	p.ssthresh = p.cwnd / 2
+	if p.ssthresh < MinWindowPackets*p.o.mss {
+		p.ssthresh = MinWindowPackets * p.o.mss
+	}
+	p.cwnd = MinWindowPackets * p.o.mss
+}

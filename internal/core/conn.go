@@ -1,0 +1,783 @@
+package core
+
+import (
+	"fmt"
+	"time"
+
+	"mpquic/internal/cc"
+	"mpquic/internal/crypto"
+	"mpquic/internal/netem"
+	"mpquic/internal/rtt"
+	"mpquic/internal/sim"
+	"mpquic/internal/stream"
+	"mpquic/internal/trace"
+	"mpquic/internal/wire"
+)
+
+// ConnStats aggregates connection-level counters for the experiments.
+type ConnStats struct {
+	HandshakeCompleted time.Duration // virtual time of completion
+	PacketsSent        uint64
+	PacketsReceived    uint64
+	BytesSent          uint64
+	BytesReceived      uint64
+	DuplicatedPackets  uint64
+	PathsOpened        int
+	RTOs               uint64
+	PacketsLost        uint64
+	TailReinjections   uint64
+}
+
+// rawPayload carries a fully serialized packet through the emulator in
+// wire-serialization mode.
+type rawPayload struct{ b []byte }
+
+// WireSize implements netem.Payload.
+func (r rawPayload) WireSize() int { return len(r.b) }
+
+// Conn is one (Multipath) QUIC connection endpoint.
+type Conn struct {
+	cfg    Config
+	role   Role
+	clock  *sim.Clock
+	net    *netem.Network
+	connID wire.ConnectionID
+
+	paths           map[wire.PathID]*Path
+	pathOrder       []wire.PathID
+	nextLocalPathID wire.PathID
+	rrNext          int // round-robin scheduler cursor
+
+	localAddrs  []netem.Addr
+	remoteAddrs []netem.Addr
+
+	// Handshake state.
+	hsClient          *crypto.ClientHandshake
+	hsServer          *crypto.ServerHandshake
+	handshakeComplete bool
+	chloPending       bool // client must (re)send CHLO
+	shloPending       bool // server must (re)send SHLO
+	shloPayload       []byte
+	sealSend          wire.Sealer
+	sealRecv          wire.Sealer
+
+	olia *cc.Olia // non-nil when cfg.CC == CCOlia
+	lia  *cc.Lia  // non-nil when cfg.CC == CCLia
+
+	connFC        *stream.FlowController
+	connRecvTotal uint64
+	streams       map[wire.StreamID]*Stream
+	streamOrder   []wire.StreamID
+	nextStreamID  wire.StreamID
+
+	ctrl []wire.Frame // control frames the scheduler may route anywhere
+
+	timer        *sim.Timer
+	lastRecvTime time.Duration
+	startTime    time.Duration
+
+	sending     bool // trySend re-entrancy guard
+	sendPending bool
+
+	closed   bool
+	closeErr error
+
+	// Callbacks (all optional).
+	onHandshakeDone func()
+	onStreamOpen    func(*Stream)
+	onClosed        func(error)
+	onPathsFrame    func(*wire.PathsFrame)
+
+	Stats ConnStats
+}
+
+// newConn builds the common connection state.
+func newConn(net *netem.Network, role Role, connID wire.ConnectionID, cfg Config, localAddrs, remoteAddrs []netem.Addr) *Conn {
+	c := &Conn{
+		cfg:         cfg,
+		role:        role,
+		clock:       net.Clock(),
+		net:         net,
+		connID:      connID,
+		paths:       make(map[wire.PathID]*Path),
+		localAddrs:  localAddrs,
+		remoteAddrs: remoteAddrs,
+		connFC:      stream.NewFlowController(cfg.ConnWindow),
+		streams:     make(map[wire.StreamID]*Stream),
+	}
+	c.startTime = c.now()
+	c.lastRecvTime = c.now()
+	if role == RoleClient {
+		c.nextStreamID = FirstClientStream
+		c.nextLocalPathID = 1 // client-created paths are odd (§3)
+	} else {
+		c.nextStreamID = FirstServerStream
+		c.nextLocalPathID = 2 // server-created paths are even
+	}
+	if cfg.CC == CCOlia {
+		c.olia = cc.NewOlia(mss())
+	}
+	if cfg.CC == CCLia {
+		c.lia = cc.NewLia(mss())
+	}
+	c.timer = sim.NewTimer(c.clock, c.onTimer)
+	return c
+}
+
+// mss is the congestion-control segment size: a full packet.
+func mss() int { return wire.MaxPacketSize }
+
+func (c *Conn) now() time.Duration { return c.clock.Now().Duration() }
+
+// trace emits ev when tracing is enabled, stamping the current time.
+func (c *Conn) trace(ev trace.Event) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	ev.Time = c.now()
+	c.cfg.Tracer.Trace(ev)
+}
+
+// ConnID returns the connection ID.
+func (c *Conn) ConnID() wire.ConnectionID { return c.connID }
+
+// Role returns the endpoint role.
+func (c *Conn) Role() Role { return c.role }
+
+// HandshakeComplete reports whether keys are established.
+func (c *Conn) HandshakeComplete() bool { return c.handshakeComplete }
+
+// Closed reports whether the connection terminated.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Paths returns the open paths in creation order.
+func (c *Conn) Paths() []*Path {
+	out := make([]*Path, 0, len(c.pathOrder))
+	for _, id := range c.pathOrder {
+		out = append(out, c.paths[id])
+	}
+	return out
+}
+
+// PathByID returns a path or nil.
+func (c *Conn) PathByID(id wire.PathID) *Path { return c.paths[id] }
+
+// OnHandshakeComplete registers the handshake-completion callback.
+func (c *Conn) OnHandshakeComplete(fn func()) {
+	c.onHandshakeDone = fn
+	if c.handshakeComplete {
+		fn()
+	}
+}
+
+// OnStreamOpen registers the peer-opened-stream callback.
+func (c *Conn) OnStreamOpen(fn func(*Stream)) { c.onStreamOpen = fn }
+
+// OnClosed registers the close callback.
+func (c *Conn) OnClosed(fn func(error)) { c.onClosed = fn }
+
+// OnPathsFrame registers a callback for received PATHS frames (used by
+// tests and the handover example to observe PF signalling).
+func (c *Conn) OnPathsFrame(fn func(*wire.PathsFrame)) { c.onPathsFrame = fn }
+
+// newController builds a per-path congestion controller.
+func (c *Conn) newController() (cc.Controller, *cc.OliaPath) {
+	maxCwnd := int(c.cfg.ConnWindow)
+	switch c.cfg.CC {
+	case CCOlia:
+		p := c.olia.AddPath()
+		p.SetMaxCwnd(maxCwnd)
+		return p, p
+	case CCLia:
+		p := c.lia.AddPath()
+		p.SetMaxCwnd(maxCwnd)
+		return p, nil
+	case CCReno:
+		r := cc.NewReno(mss())
+		r.SetMaxCwnd(maxCwnd)
+		return r, nil
+	default:
+		cub := cc.NewCubic(mss(), c.now)
+		cub.SetMaxCwnd(maxCwnd)
+		return cub, nil
+	}
+}
+
+// addPath creates and registers a path.
+func (c *Conn) addPath(id wire.PathID, local, remote netem.Addr) *Path {
+	ctrl, oliaPath := c.newController()
+	p := newPath(id, local, remote, rtt.New(rtt.DefaultQUIC()), ctrl, oliaPath)
+	c.paths[id] = p
+	c.pathOrder = append(c.pathOrder, id)
+	c.Stats.PathsOpened++
+	c.trace(trace.Event{Type: trace.PathOpened, Path: uint8(id), Detail: string(local) + "->" + string(remote)})
+	return p
+}
+
+// --- handshake ---
+
+// startClientHandshake queues the CHLO on path 0. With 0-RTT enabled
+// the client derives keys from the cached server config right away and
+// completes locally — application data rides the first flight.
+func (c *Conn) startClientHandshake() {
+	c.hsClient = crypto.NewClientHandshake(c.cfg.HandshakeSeed)
+	c.chloPending = true
+	if c.cfg.ZeroRTT {
+		c.deriveKeys(crypto.ResumptionSecret(c.cfg.HandshakeSeed))
+		c.completeHandshake()
+		return
+	}
+	c.trySend()
+}
+
+func (c *Conn) handleHandshakeFrame(p *Path, f *wire.HandshakeFrame) {
+	switch f.Message {
+	case wire.HandshakeCHLO0RTT:
+		if c.role != RoleServer || !c.cfg.ZeroRTT {
+			return // no cached config: a real stack would force 1-RTT
+		}
+		if !c.handshakeComplete {
+			c.deriveKeys(crypto.ResumptionSecret(c.cfg.HandshakeSeed))
+			c.completeHandshake()
+		}
+	case wire.HandshakeCHLO:
+		if c.role != RoleServer {
+			return
+		}
+		if c.hsServer == nil {
+			c.hsServer = crypto.NewServerHandshake(c.cfg.HandshakeSeed + 1)
+		}
+		shlo, err := c.hsServer.OnCHLO(f.Payload)
+		if err != nil {
+			c.closeWithError(fmt.Errorf("handshake: %w", err))
+			return
+		}
+		c.shloPayload = shlo
+		c.shloPending = true
+		if !c.handshakeComplete {
+			c.deriveKeys(c.hsServer.Secret())
+			c.completeHandshake()
+		}
+	case wire.HandshakeSHLO:
+		if c.role != RoleClient || c.handshakeComplete {
+			return
+		}
+		if err := c.hsClient.OnSHLO(f.Payload); err != nil {
+			c.closeWithError(fmt.Errorf("handshake: %w", err))
+			return
+		}
+		c.deriveKeys(c.hsClient.Secret())
+		c.completeHandshake()
+	}
+	p.ackMgr.ForceAck()
+}
+
+func (c *Conn) deriveKeys(secret []byte) {
+	if !c.cfg.EnableCrypto {
+		return
+	}
+	c2s, s2c := crypto.SessionKeys(secret)
+	mk := func(k crypto.Keys) wire.Sealer {
+		s, err := crypto.NewSealer(k, c.cfg.Multipath)
+		if err != nil {
+			panic(err)
+		}
+		return s
+	}
+	if c.role == RoleClient {
+		c.sealSend, c.sealRecv = mk(c2s), mk(s2c)
+	} else {
+		c.sealSend, c.sealRecv = mk(s2c), mk(c2s)
+	}
+}
+
+func (c *Conn) completeHandshake() {
+	c.handshakeComplete = true
+	c.Stats.HandshakeCompleted = c.now()
+	c.trace(trace.Event{Type: trace.HandshakeDone})
+	// Path manager: open one path per additional interface (§3, Path
+	// Management — "upon handshake completion, it opens one path over
+	// each interface on the client host").
+	if c.role == RoleClient && c.cfg.Multipath {
+		c.openAdditionalPaths()
+	}
+	if c.cfg.AdvertiseAddresses {
+		for i := 1; i < len(c.localAddrs); i++ {
+			c.ctrl = append(c.ctrl, &wire.AddAddressFrame{AddrIndex: uint8(i), Address: string(c.localAddrs[i])})
+		}
+	}
+	if c.onHandshakeDone != nil {
+		c.onHandshakeDone()
+	}
+	c.trySend()
+}
+
+// openAdditionalPaths pairs local interface i with known remote
+// address i and opens a path when both exist.
+func (c *Conn) openAdditionalPaths() {
+	for i := 1; i < len(c.localAddrs) && len(c.pathOrder) < c.cfg.MaxPaths; i++ {
+		if i >= len(c.remoteAddrs) {
+			break
+		}
+		if c.havePathFor(c.localAddrs[i], c.remoteAddrs[i]) {
+			continue
+		}
+		id := c.nextLocalPathID
+		c.nextLocalPathID += 2
+		p := c.addPath(id, c.localAddrs[i], c.remoteAddrs[i])
+		// Activate the path immediately: a PING makes the peer learn
+		// the path (and yields its first RTT sample) even when the
+		// local side has no data to place in the first packet.
+		p.queueCtrl(&wire.PingFrame{})
+	}
+}
+
+func (c *Conn) havePathFor(local, remote netem.Addr) bool {
+	for _, p := range c.paths {
+		if p.Local == local && p.Remote == remote {
+			return true
+		}
+	}
+	return false
+}
+
+// --- receiving ---
+
+// HandleDatagram implements netem.Handler.
+func (c *Conn) HandleDatagram(dg netem.Datagram) {
+	if c.closed {
+		return
+	}
+	var pkt *wire.Packet
+	switch pl := dg.Payload.(type) {
+	case *wire.Packet:
+		pkt = pl
+	case rawPayload:
+		// Identify the path first to pick the right PN context.
+		hdr, _, err := wire.ParseHeader(pl.b, wire.InvalidPacketNumber)
+		if err != nil {
+			return // corrupted: a real stack drops silently
+		}
+		largest := wire.InvalidPacketNumber
+		if p, ok := c.paths[hdr.PathID]; ok {
+			if l, has := p.ackMgr.LargestReceived(); has {
+				largest = l
+			}
+		}
+		var sealer wire.Sealer
+		if !hdr.Handshake {
+			sealer = c.sealRecv
+		}
+		pkt, err = wire.Decode(pl.b, largest, sealer)
+		if err != nil {
+			return
+		}
+	default:
+		return
+	}
+	if pkt.Header.ConnID != c.connID {
+		return
+	}
+	now := c.now()
+	c.lastRecvTime = now
+
+	pathID := pkt.Header.PathID
+	if !pkt.Header.Multipath {
+		pathID = 0
+	}
+	p, ok := c.paths[pathID]
+	if !ok {
+		// Peer-initiated path: adopt addresses from the datagram.
+		if len(c.pathOrder) >= c.cfg.MaxPaths && c.cfg.MaxPaths > 0 {
+			return
+		}
+		p = c.addPath(pathID, dg.To, dg.From)
+	}
+	if p.Remote != dg.From {
+		// NAT rebinding: keep path state, update the remote (§3).
+		p.Remote = dg.From
+	}
+	p.lastActivity = now
+	p.RecvPackets++
+	p.RecvBytes += uint64(dg.Size)
+	c.Stats.PacketsReceived++
+	c.Stats.BytesReceived += uint64(dg.Size)
+	c.trace(trace.Event{Type: trace.PacketReceived, Path: uint8(p.ID), PN: uint64(pkt.Header.PacketNumber), Size: dg.Size})
+
+	if !p.ackMgr.OnPacketReceived(pkt.Header.PacketNumber, pkt.IsRetransmittable(), now) {
+		// Duplicate (e.g. scheduler duplication or spurious rtx):
+		// still make sure an ack goes out so the sender settles.
+		p.ackMgr.ForceAck()
+		c.trySend()
+		c.resetTimer()
+		return
+	}
+	for _, f := range pkt.Frames {
+		c.handleFrame(p, f)
+		if c.closed {
+			return
+		}
+	}
+	c.trySend()
+	c.resetTimer()
+}
+
+func (c *Conn) handleFrame(p *Path, f wire.Frame) {
+	switch fr := f.(type) {
+	case *wire.HandshakeFrame:
+		c.handleHandshakeFrame(p, fr)
+	case *wire.AckFrame:
+		c.handleAck(p, fr)
+	case *wire.StreamFrame:
+		c.handleStreamFrame(fr)
+	case *wire.WindowUpdateFrame:
+		c.handleWindowUpdate(fr)
+	case *wire.AddAddressFrame:
+		c.handleAddAddress(fr)
+	case *wire.PathsFrame:
+		c.handlePathsFrame(fr)
+	case *wire.ConnectionCloseFrame:
+		c.handleRemoteClose(fr)
+	case *wire.PingFrame, *wire.PaddingFrame, *wire.BlockedFrame:
+		// Ping elicits an ack via the retransmittable flag; padding
+		// and blocked need no action.
+	}
+}
+
+// handleAck routes the ACK to the acknowledged path's space (the ACK
+// may arrive on any path; the Path ID field inside it names the space,
+// §3).
+func (c *Conn) handleAck(recvPath *Path, ack *wire.AckFrame) {
+	target := recvPath
+	if c.cfg.Multipath {
+		tp, ok := c.paths[ack.PathID]
+		if !ok {
+			return
+		}
+		target = tp
+	}
+	res := target.space.OnAck(ack, c.now())
+	srtt := target.est.SmoothedRTT()
+	for _, sp := range res.NewlyAcked {
+		target.cc.OnPacketAcked(sp.Size, srtt)
+		c.trace(trace.Event{Type: trace.PacketAcked, Path: uint8(target.ID), PN: uint64(sp.PN), Size: sp.Size, SRTT: srtt})
+		c.onFramesAcked(sp.Frames)
+	}
+	if len(res.NewlyAcked) > 0 {
+		c.trace(trace.Event{Type: trace.CwndUpdated, Path: uint8(target.ID), Cwnd: target.cc.Cwnd(), SRTT: srtt})
+	}
+	if len(res.NewlyAcked) > 0 {
+		target.lastAckProgress = c.now()
+		if target.potentiallyFailed {
+			// Data acknowledged on the path: it works again (§4.3).
+			// Tell the peer, or it would shun the path forever.
+			target.potentiallyFailed = false
+			c.trace(trace.Event{Type: trace.PathRecovered, Path: uint8(target.ID)})
+			if c.cfg.Multipath && c.cfg.PathsFrameOnFailure {
+				c.queuePathsFrame()
+			}
+		}
+	}
+	if res.CongestionEvent {
+		target.cc.OnCongestionEvent()
+	}
+	for _, sp := range res.Lost {
+		c.Stats.PacketsLost++
+		c.trace(trace.Event{Type: trace.PacketLost, Path: uint8(target.ID), PN: uint64(sp.PN), Size: sp.Size})
+		c.requeueFrames(sp.Frames)
+	}
+}
+
+func (c *Conn) onFramesAcked(frames []wire.Frame) {
+	for _, f := range frames {
+		switch fr := f.(type) {
+		case *wire.StreamFrame:
+			if s, ok := c.streams[fr.StreamID]; ok {
+				s.send.OnFrameAcked(fr.Offset, fr.Len(), fr.Fin)
+				if s.onAcked != nil && s.AllAcked() {
+					s.onAcked()
+				}
+			}
+		case *wire.HandshakeFrame:
+			switch fr.Message {
+			case wire.HandshakeCHLO:
+				c.chloPending = false
+			case wire.HandshakeSHLO:
+				c.shloPending = false
+			}
+		}
+	}
+}
+
+// requeueFrames returns lost frames' content to the send queues. Data
+// is NOT pinned to the original path: the scheduler will route the
+// retransmission wherever it fits (§3, Packet Scheduling).
+func (c *Conn) requeueFrames(frames []wire.Frame) {
+	for _, f := range frames {
+		switch fr := f.(type) {
+		case *wire.StreamFrame:
+			if s, ok := c.streams[fr.StreamID]; ok {
+				s.send.OnFrameLost(fr.Offset, fr.Len(), fr.Fin)
+			}
+		case *wire.HandshakeFrame:
+			switch fr.Message {
+			case wire.HandshakeCHLO:
+				if !c.handshakeComplete {
+					c.chloPending = true
+				}
+			case wire.HandshakeCHLO0RTT:
+				c.chloPending = true // the server still needs it
+			case wire.HandshakeSHLO:
+				c.shloPending = true
+			}
+		case *wire.WindowUpdateFrame, *wire.AddAddressFrame, *wire.PathsFrame:
+			// Stale window updates are ignored by the peer, so
+			// re-sending the same frame is safe and simple.
+			c.ctrl = append(c.ctrl, f)
+		}
+	}
+}
+
+func (c *Conn) handleStreamFrame(f *wire.StreamFrame) {
+	s, existed := c.streams[f.StreamID]
+	if !existed {
+		s = c.getOrCreateStream(f.StreamID)
+		if c.onStreamOpen != nil {
+			c.onStreamOpen(s)
+		}
+	}
+	finBefore := s.recv.FinReceived()
+	newBytes, err := s.recv.OnFrame(f)
+	if err != nil {
+		c.closeWithError(err)
+		return
+	}
+	if newBytes > 0 {
+		c.connRecvTotal += newBytes
+		if !s.fc.OnReceive(f.Offset+uint64(f.Len())) || !c.connFC.OnReceive(c.connRecvTotal) {
+			c.closeWithError(fmt.Errorf("core: flow control violated on stream %d", f.StreamID))
+			return
+		}
+	}
+	// Signal the application only on progress: fresh bytes or a newly
+	// arrived FIN (duplicated packets must not re-fire callbacks).
+	if s.onData != nil && (newBytes > 0 || (!finBefore && s.recv.FinReceived())) {
+		s.onData()
+	}
+}
+
+func (c *Conn) handleWindowUpdate(f *wire.WindowUpdateFrame) {
+	grew := false
+	if f.StreamID == 0 {
+		grew = c.connFC.UpdateSendLimit(f.Offset)
+	} else if s, ok := c.streams[f.StreamID]; ok {
+		grew = s.fc.UpdateSendLimit(f.Offset)
+	}
+	if grew {
+		c.trySend()
+	}
+}
+
+func (c *Conn) handleAddAddress(f *wire.AddAddressFrame) {
+	addr := netem.Addr(f.Address)
+	idx := int(f.AddrIndex)
+	for len(c.remoteAddrs) <= idx {
+		c.remoteAddrs = append(c.remoteAddrs, "")
+	}
+	c.remoteAddrs[idx] = addr
+	if c.role == RoleClient && c.cfg.Multipath && c.handshakeComplete {
+		c.openAdditionalPaths()
+		c.trySend()
+	}
+}
+
+func (c *Conn) handlePathsFrame(f *wire.PathsFrame) {
+	for _, info := range f.Paths {
+		if p, ok := c.paths[info.PathID]; ok {
+			p.remotePF = info.PotentiallyFailed
+		}
+	}
+	if c.onPathsFrame != nil {
+		c.onPathsFrame(f)
+	}
+}
+
+func (c *Conn) handleRemoteClose(f *wire.ConnectionCloseFrame) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closeErr = fmt.Errorf("core: closed by peer: %d %s", f.ErrorCode, f.Reason)
+	c.trace(trace.Event{Type: trace.ConnClosed, Detail: "by peer"})
+	c.timer.Stop()
+	if c.onClosed != nil {
+		c.onClosed(c.closeErr)
+	}
+}
+
+// Close terminates the connection, notifying the peer on every path.
+func (c *Conn) Close() {
+	if c.closed {
+		return
+	}
+	frame := &wire.ConnectionCloseFrame{ErrorCode: 0, Reason: "done"}
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		if p.open {
+			c.sendPacketOn(p, []wire.Frame{frame}, false)
+		}
+	}
+	c.closed = true
+	c.timer.Stop()
+	if c.onClosed != nil {
+		c.onClosed(nil)
+	}
+}
+
+func (c *Conn) closeWithError(err error) {
+	if c.closed {
+		return
+	}
+	c.closed = true
+	c.closeErr = err
+	c.trace(trace.Event{Type: trace.ConnClosed, Detail: err.Error()})
+	c.timer.Stop()
+	if c.onClosed != nil {
+		c.onClosed(err)
+	}
+}
+
+// Err returns the close reason, if any.
+func (c *Conn) Err() error { return c.closeErr }
+
+// --- timers ---
+
+func (c *Conn) onTimer() {
+	if c.closed {
+		return
+	}
+	now := c.now()
+	if c.cfg.IdleTimeout > 0 && now-c.lastRecvTime >= c.cfg.IdleTimeout {
+		c.closeWithError(fmt.Errorf("core: idle timeout after %v", c.cfg.IdleTimeout))
+		return
+	}
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		if !p.open {
+			continue
+		}
+		// Early-retransmit (time threshold) losses.
+		if lt := p.space.LossTime(); lt != 0 && lt <= now {
+			lost, event := p.space.OnLossTimer(now)
+			if event {
+				p.cc.OnCongestionEvent()
+			}
+			for _, sp := range lost {
+				c.Stats.PacketsLost++
+				c.requeueFrames(sp.Frames)
+			}
+		}
+		// Retransmission timeout.
+		if p.space.HasRetransmittableInFlight() {
+			deadline := p.rtoBase() + p.est.RTO()
+			if deadline <= now {
+				c.onPathRTO(p)
+			}
+		} else if p.potentiallyFailed {
+			// Probe a potentially-failed idle path with a PING at
+			// RTO-backoff intervals: a successful ack clears PF (as
+			// Linux MPTCP retests failed subflows). Without probes a
+			// benched sender-side path could never recover.
+			if now-p.lastRetransmittableSent >= p.est.RTO() {
+				p.queueCtrl(&wire.PingFrame{})
+			}
+		}
+	}
+	c.trySend()
+	c.resetTimer()
+}
+
+// onPathRTO handles a retransmission timeout on one path: all
+// outstanding data is requeued (and will be rescheduled, possibly onto
+// other paths), the window collapses, and in multipath mode the path
+// enters the potentially-failed state of §4.3.
+func (c *Conn) onPathRTO(p *Path) {
+	lost := p.space.OnRTO(c.now())
+	p.cc.OnRTO()
+	c.Stats.RTOs++
+	c.trace(trace.Event{Type: trace.RTOFired, Path: uint8(p.ID), Cwnd: p.cc.Cwnd()})
+	for _, sp := range lost {
+		c.Stats.PacketsLost++
+		c.requeueFrames(sp.Frames)
+	}
+	if c.cfg.Multipath && len(c.pathOrder) > 1 {
+		p.potentiallyFailed = true
+		c.trace(trace.Event{Type: trace.PathFailed, Path: uint8(p.ID)})
+		if c.cfg.PathsFrameOnFailure {
+			c.queuePathsFrame()
+		}
+	}
+}
+
+// queuePathsFrame broadcasts the local view of all paths (IDs, PF
+// flags, smoothed RTTs) on every non-PF path.
+func (c *Conn) queuePathsFrame() {
+	f := &wire.PathsFrame{}
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		f.Paths = append(f.Paths, wire.PathInfo{
+			PathID:            p.ID,
+			PotentiallyFailed: p.potentiallyFailed,
+			SRTT:              p.est.SmoothedRTT(),
+		})
+	}
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		if p.open && !p.potentiallyFailed {
+			p.queueCtrl(f)
+		}
+	}
+}
+
+// resetTimer re-arms the connection timer to the earliest deadline.
+func (c *Conn) resetTimer() {
+	if c.closed {
+		return
+	}
+	deadline := time.Duration(1<<62 - 1)
+	now := c.now()
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		if !p.open {
+			continue
+		}
+		if lt := p.space.LossTime(); lt != 0 && lt < deadline {
+			deadline = lt
+		}
+		if p.space.HasRetransmittableInFlight() {
+			if d := p.rtoBase() + p.est.RTO(); d < deadline {
+				deadline = d
+			}
+		} else if p.potentiallyFailed {
+			if d := p.lastRetransmittableSent + p.est.RTO(); d < deadline {
+				deadline = d
+			}
+		}
+		if ad := p.ackMgr.AckDeadline(); ad != 0 && ad < deadline {
+			deadline = ad
+		}
+	}
+	if c.cfg.IdleTimeout > 0 {
+		if d := c.lastRecvTime + c.cfg.IdleTimeout; d < deadline {
+			deadline = d
+		}
+	}
+	if deadline == time.Duration(1<<62-1) {
+		c.timer.Stop()
+		return
+	}
+	if deadline < now {
+		deadline = now
+	}
+	c.timer.Reset(sim.Time(deadline))
+}

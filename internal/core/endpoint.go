@@ -1,0 +1,112 @@
+package core
+
+import (
+	"mpquic/internal/netem"
+	"mpquic/internal/wire"
+)
+
+// NewConnID derives a connection ID from a seed (splitmix64 step, so
+// nearby seeds give unrelated IDs).
+func NewConnID(seed uint64) wire.ConnectionID {
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return wire.ConnectionID(z ^ (z >> 31))
+}
+
+// Dial creates a client connection. locals are the client's interface
+// addresses; remotes the known server addresses. The initial path
+// (Path 0) runs locals[0] → remotes[0]; upon handshake completion the
+// path manager opens one path per additional index where both a local
+// interface and a remote address are known (learned via config or
+// ADD_ADDRESS frames).
+//
+// The secure handshake starts immediately on the initial path; run the
+// simulation clock to make progress.
+func Dial(nw *netem.Network, cfg Config, connID wire.ConnectionID, locals, remotes []netem.Addr) *Conn {
+	if len(locals) == 0 || len(remotes) == 0 {
+		panic("core: Dial needs at least one local and one remote address")
+	}
+	if !cfg.Multipath && cfg.MaxPaths > 1 {
+		cfg.MaxPaths = 1
+	}
+	if cfg.MaxPaths == 0 {
+		cfg.MaxPaths = 2
+	}
+	c := newConn(nw, RoleClient, connID, cfg, locals, remotes)
+	c.addPath(0, locals[0], remotes[0])
+	for _, a := range locals {
+		nw.Register(a, c)
+	}
+	c.startClientHandshake()
+	return c
+}
+
+// Listener accepts (MP)QUIC connections on a set of server addresses,
+// demultiplexing datagrams to connections by Connection ID.
+type Listener struct {
+	nw     *netem.Network
+	cfg    Config
+	addrs  []netem.Addr
+	conns  map[wire.ConnectionID]*Conn
+	onConn func(*Conn)
+}
+
+// Listen registers a server on the given addresses.
+func Listen(nw *netem.Network, cfg Config, addrs []netem.Addr) *Listener {
+	if !cfg.Multipath && cfg.MaxPaths > 1 {
+		cfg.MaxPaths = 1
+	}
+	if cfg.MaxPaths == 0 {
+		cfg.MaxPaths = 2
+	}
+	l := &Listener{
+		nw:    nw,
+		cfg:   cfg,
+		addrs: addrs,
+		conns: make(map[wire.ConnectionID]*Conn),
+	}
+	for _, a := range addrs {
+		nw.Register(a, l)
+	}
+	return l
+}
+
+// OnConnection registers the new-connection callback, invoked when the
+// first packet of an unknown Connection ID arrives.
+func (l *Listener) OnConnection(fn func(*Conn)) { l.onConn = fn }
+
+// Conns returns the accepted connections.
+func (l *Listener) Conns() []*Conn {
+	out := make([]*Conn, 0, len(l.conns))
+	for _, c := range l.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// HandleDatagram implements netem.Handler: dispatch by Connection ID.
+func (l *Listener) HandleDatagram(dg netem.Datagram) {
+	var cid wire.ConnectionID
+	switch pl := dg.Payload.(type) {
+	case *wire.Packet:
+		cid = pl.Header.ConnID
+	case rawPayload:
+		hdr, _, err := wire.ParseHeader(pl.b, wire.InvalidPacketNumber)
+		if err != nil {
+			return
+		}
+		cid = hdr.ConnID
+	default:
+		return
+	}
+	c, ok := l.conns[cid]
+	if !ok {
+		c = newConn(l.nw, RoleServer, cid, l.cfg, l.addrs, []netem.Addr{dg.From})
+		l.conns[cid] = c
+		if l.onConn != nil {
+			l.onConn(c)
+		}
+	}
+	c.HandleDatagram(dg)
+}

@@ -1,0 +1,163 @@
+package core
+
+import (
+	"testing"
+	"time"
+
+	"mpquic/internal/netem"
+	"mpquic/internal/recovery"
+	"mpquic/internal/sim"
+	"mpquic/internal/wire"
+)
+
+// newTestConn builds a connected multipath conn with two paths and
+// hand-tuned RTT estimators for white-box scheduler tests.
+func newTestConn(t *testing.T, cfg Config) *Conn {
+	t.Helper()
+	clock := sim.NewClock()
+	nw := netem.New(clock, sim.NewRand(1))
+	c := newConn(nw, RoleClient, 1, cfg, []netem.Addr{"a0", "a1"}, []netem.Addr{"b0", "b1"})
+	c.addPath(0, "a0", "b0")
+	c.addPath(1, "a1", "b1")
+	c.handshakeComplete = true
+	return c
+}
+
+func feedRTT(p *Path, rtt time.Duration) {
+	p.est.Update(rtt, 0)
+}
+
+func TestScheduleLowestRTTPrefersFasterPath(t *testing.T) {
+	c := newTestConn(t, DefaultConfig())
+	p0, p1 := c.paths[0], c.paths[1]
+	feedRTT(p0, 50*time.Millisecond)
+	feedRTT(p1, 20*time.Millisecond)
+	primary, dups := c.schedule()
+	if primary != p1 {
+		t.Fatalf("picked path %d, want the 20ms path", primary.ID)
+	}
+	if len(dups) != 0 {
+		t.Fatal("no duplication targets expected: both paths measured")
+	}
+}
+
+func TestScheduleDuplicatesOntoUnmeasuredPath(t *testing.T) {
+	c := newTestConn(t, DefaultConfig())
+	p0, p1 := c.paths[0], c.paths[1]
+	feedRTT(p0, 30*time.Millisecond)
+	// p1 has no RTT sample.
+	primary, dups := c.schedule()
+	if primary != p0 {
+		t.Fatalf("primary %d, want measured path 0", primary.ID)
+	}
+	if len(dups) != 1 || dups[0] != p1 {
+		t.Fatalf("duplication targets %v, want path 1", dups)
+	}
+}
+
+func TestScheduleNoDupAblation(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheduler = SchedLowestRTTNoDup
+	c := newTestConn(t, cfg)
+	feedRTT(c.paths[0], 30*time.Millisecond)
+	_, dups := c.schedule()
+	if len(dups) != 0 {
+		t.Fatal("nodup scheduler produced duplicates")
+	}
+}
+
+func TestScheduleSkipsPotentiallyFailed(t *testing.T) {
+	c := newTestConn(t, DefaultConfig())
+	p0, p1 := c.paths[0], c.paths[1]
+	feedRTT(p0, 10*time.Millisecond)
+	feedRTT(p1, 90*time.Millisecond)
+	p0.potentiallyFailed = true
+	primary, _ := c.schedule()
+	if primary != p1 {
+		t.Fatal("scheduler used a potentially-failed path")
+	}
+	// All paths PF: fall back to using them anyway.
+	p1.potentiallyFailed = true
+	primary, _ = c.schedule()
+	if primary == nil {
+		t.Fatal("all-PF fallback missing")
+	}
+}
+
+func TestScheduleSkipsRemotePF(t *testing.T) {
+	c := newTestConn(t, DefaultConfig())
+	p0, p1 := c.paths[0], c.paths[1]
+	feedRTT(p0, 10*time.Millisecond)
+	feedRTT(p1, 90*time.Millisecond)
+	p0.remotePF = true
+	primary, _ := c.schedule()
+	if primary != p1 {
+		t.Fatal("scheduler used a remote-PF path")
+	}
+}
+
+func TestScheduleRespectsCwnd(t *testing.T) {
+	c := newTestConn(t, DefaultConfig())
+	p0, p1 := c.paths[0], c.paths[1]
+	feedRTT(p0, 10*time.Millisecond)
+	feedRTT(p1, 90*time.Millisecond)
+	// Fill path 0's window: scheduler must fall back to path 1.
+	c.fillCwnd(p0)
+	primary, _ := c.schedule()
+	if primary != p1 {
+		t.Fatal("scheduler ignored a full congestion window")
+	}
+	c.fillCwnd(p1)
+	primary, _ = c.schedule()
+	if primary != nil {
+		t.Fatal("scheduler returned a path with no window space")
+	}
+}
+
+// fillCwnd tracks fake in-flight packets until the window is full.
+func (c *Conn) fillCwnd(p *Path) {
+	for p.cwndAvailable(wire.MaxPacketSize) {
+		p.space.OnPacketSent(&recovery.SentPacket{
+			PN:              p.space.NextPacketNumber(),
+			Size:            wire.MaxPacketSize + wire.UDPIPv4Overhead,
+			SentTime:        c.now(),
+			Retransmittable: true,
+		})
+	}
+}
+
+func TestScheduleRoundRobinRotates(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheduler = SchedRoundRobin
+	c := newTestConn(t, cfg)
+	feedRTT(c.paths[0], 10*time.Millisecond)
+	feedRTT(c.paths[1], 90*time.Millisecond)
+	a, _ := c.schedule()
+	b, _ := c.schedule()
+	if a == b {
+		t.Fatal("round-robin did not rotate")
+	}
+}
+
+func TestScheduleBLESTWaitsInsteadOfBlocking(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Scheduler = SchedBLEST
+	cfg.ConnWindow = 64 << 10 // tiny send window
+	c := newTestConn(t, cfg)
+	p0, p1 := c.paths[0], c.paths[1]
+	feedRTT(p0, 10*time.Millisecond)
+	feedRTT(p1, 500*time.Millisecond)
+	// Fast path full; slow path free; the fast path could push the
+	// whole 64 KB window within one slow-path RTT → BLEST waits.
+	c.fillCwnd(p0)
+	primary, _ := c.schedule()
+	if primary != nil {
+		t.Fatalf("BLEST used the blocking slow path (%v)", primary.ID)
+	}
+	// With an ample window it uses the slow path.
+	c.connFC.UpdateSendLimit(1 << 30)
+	primary, _ = c.schedule()
+	if primary != p1 {
+		t.Fatal("BLEST refused a safe slow path")
+	}
+}

@@ -1,0 +1,421 @@
+package core
+
+import (
+	"mpquic/internal/netem"
+	"mpquic/internal/recovery"
+	"mpquic/internal/trace"
+	"mpquic/internal/wire"
+)
+
+// trySend drains everything currently sendable: handshake messages,
+// scheduled data packets (with duplication), and pending pure ACKs. It
+// is the single transmission entry point and is re-entrancy safe —
+// nested calls (from stream callbacks) just flag another pass.
+func (c *Conn) trySend() {
+	if c.closed {
+		return
+	}
+	if c.sending {
+		c.sendPending = true
+		return
+	}
+	c.sending = true
+	defer func() { c.sending = false }()
+	for {
+		c.sendPending = false
+		c.sendPass()
+		if !c.sendPending || c.closed {
+			break
+		}
+	}
+	c.resetTimer()
+}
+
+func (c *Conn) sendPass() {
+	c.sendHandshake()
+	acked := make(map[wire.PathID]bool)
+	c.sendPathCtrl(acked)
+	c.sendData(acked)
+	c.sendTailReinjection()
+	c.sendPureAcks(acked)
+}
+
+// sendTailReinjection implements the TailReinjection extension: after
+// the scheduler pass, any path that still has congestion-window space
+// has nothing of its own to carry — so it duplicates stream data still
+// outstanding on *other* paths. A lossy or slow path then no longer
+// dictates the completion tail, and window-stalled transfers borrow
+// idle capacity (the MPQUIC analog of MPTCP's opportunistic
+// retransmission). Each packet is reinjected at most once.
+func (c *Conn) sendTailReinjection() {
+	if !c.cfg.TailReinjection || !c.handshakeComplete || !c.dataIdle() {
+		return
+	}
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		if !p.open || p.potentiallyFailed || p.remotePF {
+			continue
+		}
+		for p.cwndAvailable(wire.MaxPacketSize) {
+			sp := c.oldestReinjectable(p)
+			if sp == nil {
+				break
+			}
+			sp.Reinjected = true
+			frames := reinjectableFrames(sp.Frames)
+			if len(frames) == 0 {
+				continue
+			}
+			c.Stats.TailReinjections++
+			c.sendPacket(p, frames, false, true)
+		}
+	}
+}
+
+// dataIdle reports that every stream's data (and retransmissions) has
+// been handed to the network — the transfer is in its completion tail,
+// where duplicates cannot delay first-time transmissions.
+func (c *Conn) dataIdle() bool {
+	for _, sid := range c.streamOrder {
+		if c.streams[sid].send.HasData() {
+			return false
+		}
+	}
+	return true
+}
+
+// oldestReinjectable finds the oldest outstanding, not-yet-reinjected
+// data packet on a path *slower* than target. Duplicating onto a
+// slower path would queue redundant copies behind the very stragglers
+// they are meant to rescue, so only faster paths qualify as targets.
+func (c *Conn) oldestReinjectable(target *Path) *recovery.SentPacket {
+	var oldest *recovery.SentPacket
+	for _, pid := range c.pathOrder {
+		q := c.paths[pid]
+		if q == target || !q.open {
+			continue
+		}
+		if q.est.HasSample() && target.est.HasSample() &&
+			q.est.SmoothedRTT() <= target.est.SmoothedRTT() {
+			continue // only rescue data stuck on slower paths
+		}
+		for _, sp := range q.space.Outstanding() {
+			if sp.Reinjected || !sp.Retransmittable {
+				continue
+			}
+			if !hasStreamFrame(sp.Frames) {
+				continue
+			}
+			if oldest == nil || sp.SentTime < oldest.SentTime {
+				oldest = sp
+				break // Outstanding is oldest-first per path
+			}
+		}
+	}
+	return oldest
+}
+
+func hasStreamFrame(frames []wire.Frame) bool {
+	for _, f := range frames {
+		if _, ok := f.(*wire.StreamFrame); ok {
+			return true
+		}
+	}
+	return false
+}
+
+// reinjectableFrames keeps only the stream frames of a packet (acks
+// and control frames belong to their original context).
+func reinjectableFrames(frames []wire.Frame) []wire.Frame {
+	var out []wire.Frame
+	for _, f := range frames {
+		if sf, ok := f.(*wire.StreamFrame); ok {
+			out = append(out, sf)
+		}
+	}
+	return out
+}
+
+// sendPathCtrl flushes path-pinned control queues on their own paths.
+// These packets bypass the congestion window: they are small, rare and
+// critical (a WINDOW_UPDATE stuck behind a full window would deadlock
+// the transfer; a PATHS frame stuck on a failed path would defeat
+// §4.3's fast handover).
+func (c *Conn) sendPathCtrl(ackedOn map[wire.PathID]bool) {
+	if !c.handshakeComplete {
+		return
+	}
+	now := c.now()
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		if !p.open {
+			continue
+		}
+		for len(p.ctrl) > 0 {
+			budget := wire.MaxPacketSize - c.headerSize(p, false) - wire.AEADOverhead
+			var frames []wire.Frame
+			if p.ackMgr.ShouldSendAck(now) {
+				if ack := p.ackMgr.BuildAck(now); ack != nil && ack.EncodedSize() <= budget {
+					frames = append(frames, ack)
+					budget -= ack.EncodedSize()
+					ackedOn[p.ID] = true
+				}
+			}
+			for len(p.ctrl) > 0 && p.ctrl[0].EncodedSize() <= budget {
+				f := p.ctrl[0]
+				p.ctrl = p.ctrl[1:]
+				frames = append(frames, f)
+				budget -= f.EncodedSize()
+			}
+			c.sendPacket(p, frames, false, true)
+		}
+	}
+}
+
+// sendHandshake emits pending CHLO/SHLO messages on path 0, padded to
+// a full packet as Google QUIC pads its client hello.
+func (c *Conn) sendHandshake() {
+	p0, ok := c.paths[0]
+	if !ok {
+		return
+	}
+	if c.chloPending && c.role == RoleClient {
+		c.chloPending = false
+		msg := wire.HandshakeCHLO
+		if c.cfg.ZeroRTT {
+			msg = wire.HandshakeCHLO0RTT
+		}
+		c.sendHandshakePacket(p0, &wire.HandshakeFrame{Message: msg, Payload: c.hsClient.CHLO()})
+	}
+	if c.shloPending && c.role == RoleServer {
+		c.shloPending = false
+		frames := []wire.Frame{&wire.HandshakeFrame{Message: wire.HandshakeSHLO, Payload: c.shloPayload}}
+		// Bundle the ack of the CHLO so the client gets an immediate
+		// RTT sample.
+		if p0.ackMgr.ShouldSendAck(c.now()) {
+			if ack := p0.ackMgr.BuildAck(c.now()); ack != nil {
+				frames = append([]wire.Frame{ack}, frames...)
+			}
+		}
+		c.sendPacket(p0, frames, true, true)
+	}
+}
+
+func (c *Conn) sendHandshakePacket(p *Path, hs *wire.HandshakeFrame) {
+	frames := []wire.Frame{hs}
+	pad := wire.MaxPacketSize - c.headerSize(p, true) - hs.EncodedSize()
+	if pad > 0 {
+		frames = append(frames, &wire.PaddingFrame{Length: pad})
+	}
+	c.sendPacket(p, frames, true, true)
+}
+
+// sendData runs the scheduler loop, building packets until nothing is
+// pending or no path has window space, recording paths that had an
+// ACK bundled.
+func (c *Conn) sendData(ackedOn map[wire.PathID]bool) {
+	if !c.handshakeComplete {
+		return
+	}
+	for i := 0; i < 1<<16; i++ { // defensive bound; loop exits naturally
+		if !c.hasSendableData() {
+			return
+		}
+		primary, duplicates := c.schedule()
+		if primary == nil {
+			return
+		}
+		frames, hasData := c.packFrames(primary, ackedOn)
+		if len(frames) == 0 {
+			return
+		}
+		c.sendPacket(primary, frames, false, true)
+		if hasData {
+			for _, dup := range duplicates {
+				c.Stats.DuplicatedPackets++
+				c.sendPacket(dup, dupFrames(frames), false, true)
+			}
+		}
+	}
+}
+
+// dupFrames strips non-duplicable frames (ACKs belong to the original
+// path's context) from a duplicated packet.
+func dupFrames(frames []wire.Frame) []wire.Frame {
+	out := make([]wire.Frame, 0, len(frames))
+	for _, f := range frames {
+		if _, isAck := f.(*wire.AckFrame); isAck {
+			continue
+		}
+		out = append(out, f)
+	}
+	return out
+}
+
+// hasSendableData reports whether a data/control packet could be
+// built right now.
+func (c *Conn) hasSendableData() bool {
+	if len(c.ctrl) > 0 {
+		return true
+	}
+	for _, pid := range c.pathOrder {
+		if len(c.paths[pid].ctrl) > 0 {
+			return true
+		}
+	}
+	connAllow := c.connFC.SendAllowance()
+	for _, sid := range c.streamOrder {
+		s := c.streams[sid]
+		if s.send.HasRetransmission() {
+			return true
+		}
+		if !s.send.HasData() {
+			continue
+		}
+		// New data needs both flow-control levels open; a pending
+		// bare FIN needs none.
+		if s.send.UnsentBytes() > 0 {
+			if connAllow > 0 && s.fc.SendAllowance() > 0 {
+				return true
+			}
+			continue
+		}
+		return true // bare FIN pending
+	}
+	return false
+}
+
+// packFrames assembles the frame list for one packet on path p: the
+// path's pending ACK, path-pinned control frames, floating control
+// frames, then stream data under flow control.
+func (c *Conn) packFrames(p *Path, ackedOn map[wire.PathID]bool) (frames []wire.Frame, hasData bool) {
+	budget := wire.MaxPacketSize - c.headerSize(p, false) - wire.AEADOverhead
+	now := c.now()
+	if p.ackMgr.ShouldSendAck(now) {
+		if ack := p.ackMgr.BuildAck(now); ack != nil && ack.EncodedSize() <= budget {
+			frames = append(frames, ack)
+			budget -= ack.EncodedSize()
+			ackedOn[p.ID] = true
+		}
+	}
+	// Path-pinned control frames (WINDOW_UPDATE broadcast copies,
+	// PATHS frames).
+	for len(p.ctrl) > 0 && p.ctrl[0].EncodedSize() <= budget {
+		f := p.ctrl[0]
+		p.ctrl = p.ctrl[1:]
+		frames = append(frames, f)
+		budget -= f.EncodedSize()
+	}
+	// Floating control frames: any path will do (§3 — the scheduler
+	// also decides which control frame goes on which path).
+	for len(c.ctrl) > 0 && c.ctrl[0].EncodedSize() <= budget {
+		f := c.ctrl[0]
+		c.ctrl = c.ctrl[1:]
+		frames = append(frames, f)
+		budget -= f.EncodedSize()
+	}
+	// Stream data.
+	for _, sid := range c.streamOrder {
+		s := c.streams[sid]
+		for budget > 24 && s.send.HasData() {
+			allow := c.connFC.SendAllowance()
+			if sa := s.fc.SendAllowance(); sa < allow {
+				allow = sa
+			}
+			f, used := s.send.NextFrame(budget, allow)
+			if f == nil {
+				break
+			}
+			if used > 0 {
+				s.fc.AddBytesSent(used)
+				c.connFC.AddBytesSent(used)
+			}
+			frames = append(frames, f)
+			budget -= f.EncodedSize()
+			hasData = true
+		}
+	}
+	return frames, hasData
+}
+
+// sendPureAcks emits ack-only packets for paths that still owe an ACK
+// after the data pass. Ack-only packets bypass the congestion window
+// and are not retransmittable.
+func (c *Conn) sendPureAcks(ackedOn map[wire.PathID]bool) {
+	now := c.now()
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		if !p.open || ackedOn[p.ID] || !p.ackMgr.ShouldSendAck(now) {
+			continue
+		}
+		if ack := p.ackMgr.BuildAck(now); ack != nil {
+			c.sendPacket(p, []wire.Frame{ack}, false, true)
+		}
+	}
+}
+
+// headerSize computes the public header cost on path p.
+func (c *Conn) headerSize(p *Path, handshake bool) int {
+	h := wire.Header{
+		ConnID:       c.connID,
+		Multipath:    c.cfg.Multipath,
+		Handshake:    handshake,
+		PathID:       p.ID,
+		PacketNumber: p.space.LargestSent(),
+	}
+	return h.EncodedSize(p.space.LargestAcked())
+}
+
+// sendPacket builds, tracks and transmits one packet on path p.
+// track=false is used for fire-and-forget CONNECTION_CLOSE.
+func (c *Conn) sendPacket(p *Path, frames []wire.Frame, handshake, track bool) {
+	if len(frames) == 0 {
+		return
+	}
+	pn := p.space.NextPacketNumber()
+	pkt := &wire.Packet{
+		Header: wire.Header{
+			ConnID:       c.connID,
+			Multipath:    c.cfg.Multipath,
+			Handshake:    handshake,
+			PathID:       p.ID,
+			PacketNumber: pn,
+		},
+		Frames:       frames,
+		LargestAcked: p.space.LargestAcked(),
+	}
+	size := pkt.EncodedSize() + wire.UDPIPv4Overhead
+	retransmittable := pkt.IsRetransmittable()
+	now := c.now()
+	if track && retransmittable {
+		p.space.OnPacketSent(&recovery.SentPacket{
+			PN:              pn,
+			Frames:          frames,
+			Size:            size,
+			SentTime:        now,
+			Retransmittable: true,
+		})
+		p.cc.OnPacketSent(size)
+		p.lastRetransmittableSent = now
+	}
+	p.SentPackets++
+	p.SentBytes += uint64(size)
+	c.Stats.PacketsSent++
+	c.Stats.BytesSent += uint64(size)
+	c.trace(trace.Event{Type: trace.PacketSent, Path: uint8(p.ID), PN: uint64(pn), Size: size, Cwnd: p.cc.Cwnd()})
+
+	var payload netem.Payload = pkt
+	if c.cfg.WireSerialization {
+		var sealer wire.Sealer
+		if !handshake {
+			sealer = c.sealSend
+		}
+		payload = rawPayload{b: pkt.Encode(sealer)}
+	}
+	c.net.Send(netem.Datagram{From: p.Local, To: p.Remote, Size: size, Payload: payload})
+}
+
+// sendPacketOn is Close's helper: untracked single packet.
+func (c *Conn) sendPacketOn(p *Path, frames []wire.Frame, handshake bool) {
+	c.sendPacket(p, frames, handshake, false)
+}

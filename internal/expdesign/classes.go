@@ -1,0 +1,131 @@
+// Package expdesign implements the paper's experimental-design
+// methodology (§4.1): WSP-selected scenarios over the Table 1
+// parameter ranges, grouped into four classes (low/high BDP ×
+// with/without random losses), executed for all four protocol stacks
+// with both choices of initial path and three seeded repetitions, and
+// summarized as the time-ratio CDFs and experimental aggregation
+// benefit boxes of Figs. 3–10.
+package expdesign
+
+import (
+	"fmt"
+	"math"
+	"time"
+
+	"mpquic/internal/netem"
+	"mpquic/internal/wsp"
+)
+
+// Ranges are the Table 1 experimental-design factor ranges.
+type Ranges struct {
+	CapacityMinMbps, CapacityMaxMbps float64
+	RTTMax                           time.Duration
+	QueueDelayMax                    time.Duration
+	LossMax                          float64 // fraction, e.g. 0.025
+}
+
+// Table 1 of the paper.
+var (
+	// LowBDPRanges: capacity 0.1–100 Mbps, RTT 0–50 ms, queueing
+	// 0–100 ms, loss 0–2.5 %.
+	LowBDPRanges = Ranges{0.1, 100, 50 * time.Millisecond, 100 * time.Millisecond, 0.025}
+	// HighBDPRanges: RTT 0–400 ms, queueing 0–2000 ms.
+	HighBDPRanges = Ranges{0.1, 100, 400 * time.Millisecond, 2000 * time.Millisecond, 0.025}
+)
+
+// Class is one of the four scenario classes of §4.1.
+type Class struct {
+	Name   string
+	Ranges Ranges
+	Losses bool
+	// Seed decorrelates the WSP designs of different classes.
+	Seed uint64
+}
+
+// The four classes of the evaluation.
+var (
+	LowBDPNoLoss  = Class{Name: "low-BDP-no-loss", Ranges: LowBDPRanges, Losses: false, Seed: 101}
+	LowBDPLosses  = Class{Name: "low-BDP-losses", Ranges: LowBDPRanges, Losses: true, Seed: 102}
+	HighBDPNoLoss = Class{Name: "high-BDP-no-loss", Ranges: HighBDPRanges, Losses: false, Seed: 103}
+	HighBDPLosses = Class{Name: "high-BDP-losses", Ranges: HighBDPRanges, Losses: true, Seed: 104}
+)
+
+// Classes lists all four in paper order.
+var Classes = []Class{LowBDPNoLoss, LowBDPLosses, HighBDPNoLoss, HighBDPLosses}
+
+// PaperScenarioCount is the per-class scenario count of §4.1.
+const PaperScenarioCount = 253
+
+// Scenario is one emulated two-path environment.
+type Scenario struct {
+	ID    int
+	Class string
+	Paths [2]netem.PathSpec
+}
+
+// String renders a compact description.
+func (s Scenario) String() string {
+	p := s.Paths
+	return fmt.Sprintf("%s#%d [%.2fMbps/%v/%v/%.2f%% | %.2fMbps/%v/%v/%.2f%%]",
+		s.Class, s.ID,
+		p[0].CapacityMbps, p[0].RTT, p[0].QueueDelay, p[0].LossRate*100,
+		p[1].CapacityMbps, p[1].RTT, p[1].QueueDelay, p[1].LossRate*100)
+}
+
+// dims is the design dimensionality: (capacity, RTT, queueing) per
+// path, plus loss per path in lossy classes.
+func dims(losses bool) int {
+	if losses {
+		return 8
+	}
+	return 6
+}
+
+// GenerateScenarios builds n WSP-selected scenarios for a class.
+// Capacity is mapped logarithmically across its three decades (0.1–100
+// Mbps); the remaining factors map linearly, exactly as an
+// experimental-design study spreads heterogeneous ranges.
+func GenerateScenarios(c Class, n int) []Scenario {
+	pts := wsp.Select(n, dims(c.Losses), c.Seed)
+	out := make([]Scenario, len(pts))
+	for i, p := range pts {
+		var sc Scenario
+		sc.ID = i
+		sc.Class = c.Name
+		for path := 0; path < 2; path++ {
+			spec := netem.PathSpec{
+				CapacityMbps: logMap(p[path], c.Ranges.CapacityMinMbps, c.Ranges.CapacityMaxMbps),
+				RTT:          time.Duration(p[2+path] * float64(c.Ranges.RTTMax)),
+				QueueDelay:   time.Duration(p[4+path] * float64(c.Ranges.QueueDelayMax)),
+			}
+			if c.Losses {
+				spec.LossRate = p[6+path] * c.Ranges.LossMax
+			}
+			sc.Paths[path] = spec
+		}
+		out[i] = sc
+	}
+	return out
+}
+
+// logMap maps x∈[0,1) onto [lo,hi] logarithmically.
+func logMap(x, lo, hi float64) float64 {
+	return lo * math.Pow(hi/lo, x)
+}
+
+// BestPath returns the index of the path with the higher capacity
+// (tie-broken by lower RTT) — the a-priori "best" path used to label
+// best/worst-path-first runs when single-path goodputs are equal.
+func (s Scenario) BestPath() int {
+	a, b := s.Paths[0], s.Paths[1]
+	if a.CapacityMbps != b.CapacityMbps {
+		if a.CapacityMbps > b.CapacityMbps {
+			return 0
+		}
+		return 1
+	}
+	if a.RTT <= b.RTT {
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,207 @@
+package expdesign
+
+import (
+	"runtime"
+	"sync"
+
+	"mpquic/internal/stats"
+)
+
+// Repetitions is the paper's per-point repetition count (median of 3).
+const Repetitions = 3
+
+// Transfer sizes of the evaluation.
+const (
+	// LargeTransfer is the 20 MB download of §4.1.
+	LargeTransfer = 20 << 20
+	// ShortTransfer is the 256 KB download of §4.2.
+	ShortTransfer = 256 << 10
+)
+
+// ScenarioResult holds the eight median runs of one scenario:
+// {TCP, QUIC, MPTCP, MPQUIC} × {start on path 0, start on path 1}.
+type ScenarioResult struct {
+	Scenario Scenario
+	// Indexed [protocol][startPath].
+	Runs [4][2]RunResult
+}
+
+// GridConfig parameterizes a figure-grid execution.
+type GridConfig struct {
+	Class     Class
+	Scenarios int    // per-class scenario count (253 in the paper)
+	Size      uint64 // transfer size
+	Reps      int    // repetitions per point (3 in the paper)
+	Workers   int    // parallel simulations (defaults to GOMAXPROCS)
+	// Progress, when non-nil, is called after each completed scenario.
+	Progress func(done, total int)
+}
+
+// FigureData is the raw material of one figure: all scenario results
+// of one (class, size) grid.
+type FigureData struct {
+	Class   string
+	Size    uint64
+	Results []ScenarioResult
+}
+
+// RunGrid executes the full grid for one class: every scenario × 4
+// protocols × 2 initial paths × Reps repetitions, in parallel.
+func RunGrid(cfg GridConfig) FigureData {
+	if cfg.Workers <= 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Reps <= 0 {
+		cfg.Reps = Repetitions
+	}
+	scenarios := GenerateScenarios(cfg.Class, cfg.Scenarios)
+	results := make([]ScenarioResult, len(scenarios))
+
+	var wg sync.WaitGroup
+	var mu sync.Mutex
+	done := 0
+	jobs := make(chan int)
+	for w := 0; w < cfg.Workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range jobs {
+				sc := scenarios[i]
+				var sr ScenarioResult
+				sr.Scenario = sc
+				for proto := ProtoTCP; proto <= ProtoMPQUIC; proto++ {
+					for start := 0; start < 2; start++ {
+						seed := cfg.Class.Seed*1_000_003 + uint64(sc.ID)*8191 +
+							uint64(proto)*131 + uint64(start)*17 + 1
+						sr.Runs[proto][start] = RunMedian(sc, proto, cfg.Size, start, cfg.Reps, seed)
+					}
+				}
+				results[i] = sr
+				if cfg.Progress != nil {
+					mu.Lock()
+					done++
+					d := done
+					mu.Unlock()
+					cfg.Progress(d, len(scenarios))
+				}
+			}
+		}()
+	}
+	for i := range scenarios {
+		jobs <- i
+	}
+	close(jobs)
+	wg.Wait()
+	return FigureData{Class: cfg.Class.Name, Size: cfg.Size, Results: results}
+}
+
+// TimeRatios extracts the Fig. 3/5/8/9 CDF inputs: for each of the
+// 2×N (scenario, initial path) sims, the ratio of the TCP-family time
+// to the QUIC-family time. Ratio > 1 means QUIC-family is faster.
+func (fd FigureData) TimeRatios() (singlePath, multiPath []float64) {
+	for _, sr := range fd.Results {
+		for start := 0; start < 2; start++ {
+			tTCP := sr.Runs[ProtoTCP][start].Elapsed.Seconds()
+			tQUIC := sr.Runs[ProtoQUIC][start].Elapsed.Seconds()
+			tMPTCP := sr.Runs[ProtoMPTCP][start].Elapsed.Seconds()
+			tMPQUIC := sr.Runs[ProtoMPQUIC][start].Elapsed.Seconds()
+			if tQUIC > 0 {
+				singlePath = append(singlePath, tTCP/tQUIC)
+			}
+			if tMPQUIC > 0 {
+				multiPath = append(multiPath, tMPTCP/tMPQUIC)
+			}
+		}
+	}
+	return singlePath, multiPath
+}
+
+// Family selects a single-path/multipath protocol pair for the
+// experimental aggregation benefit.
+type Family int
+
+// The two protocol families compared in Figs. 4/6/7/10.
+const (
+	FamilyTCP  Family = iota // MPTCP vs TCP
+	FamilyQUIC               // MPQUIC vs QUIC
+)
+
+func (f Family) String() string {
+	if f == FamilyTCP {
+		return "MPTCP vs. TCP"
+	}
+	return "MPQUIC vs. QUIC"
+}
+
+// EBen computes the experimental aggregation benefit of §4.1:
+//
+//	        Gm − Gmax
+//	EBen = ───────────────   if Gm ≥ Gmax,
+//	        (ΣGi) − Gmax
+//
+//	        Gm − Gmax
+//	EBen = ───────────       otherwise,
+//	          Gmax
+//
+// where Gi are the single-path goodputs, Gmax their maximum, and Gm
+// the multipath goodput. 0 ⇒ multipath equals the best single path;
+// 1 ⇒ full aggregation; −1 ⇒ the multipath transfer failed.
+func EBen(gm float64, gs []float64) float64 {
+	gmax, sum := 0.0, 0.0
+	for _, g := range gs {
+		sum += g
+		if g > gmax {
+			gmax = g
+		}
+	}
+	if gmax <= 0 {
+		return 0
+	}
+	if gm >= gmax {
+		den := sum - gmax
+		if den <= 0 {
+			return 0
+		}
+		return (gm - gmax) / den
+	}
+	return (gm - gmax) / gmax
+}
+
+// AggBenefits extracts the Fig. 4/6/7/10 boxes for one family, split
+// by whether the multipath connection started on the best or the
+// worst performing path (measured by single-path goodput, as in [1]).
+func (fd FigureData) AggBenefits(f Family) (bestFirst, worstFirst []float64) {
+	spProto, mpProto := ProtoTCP, ProtoMPTCP
+	if f == FamilyQUIC {
+		spProto, mpProto = ProtoQUIC, ProtoMPQUIC
+	}
+	for _, sr := range fd.Results {
+		gs := []float64{
+			sr.Runs[spProto][0].GoodputBps,
+			sr.Runs[spProto][1].GoodputBps,
+		}
+		best := 0
+		if gs[1] > gs[0] {
+			best = 1
+		}
+		for start := 0; start < 2; start++ {
+			gm := sr.Runs[mpProto][start].GoodputBps
+			e := EBen(gm, gs)
+			if start == best {
+				bestFirst = append(bestFirst, e)
+			} else {
+				worstFirst = append(worstFirst, e)
+			}
+		}
+	}
+	return bestFirst, worstFirst
+}
+
+// BenefitSummary renders the headline statistics the paper quotes for
+// a family: the fraction of scenarios (both initial paths pooled)
+// where multipath beats the best single path (EBen > 0).
+func (fd FigureData) BenefitSummary(f Family) (fractionPositive float64, box stats.Box) {
+	best, worst := fd.AggBenefits(f)
+	all := append(append([]float64{}, best...), worst...)
+	return stats.FractionAbove(all, 0), stats.BoxOf(all)
+}

@@ -1,0 +1,242 @@
+package expdesign
+
+import (
+	"math"
+	"time"
+
+	"mpquic/internal/apps"
+	"mpquic/internal/core"
+	"mpquic/internal/mptcpsim"
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+	"mpquic/internal/tcpsim"
+)
+
+// Protocol identifies one of the four compared stacks.
+type Protocol int
+
+// The four protocols of the evaluation.
+const (
+	ProtoTCP Protocol = iota
+	ProtoQUIC
+	ProtoMPTCP
+	ProtoMPQUIC
+)
+
+func (p Protocol) String() string {
+	switch p {
+	case ProtoTCP:
+		return "TCP"
+	case ProtoQUIC:
+		return "QUIC"
+	case ProtoMPTCP:
+		return "MPTCP"
+	default:
+		return "MPQUIC"
+	}
+}
+
+// Multipath reports whether the protocol uses both paths.
+func (p Protocol) Multipath() bool { return p == ProtoMPTCP || p == ProtoMPQUIC }
+
+// RunResult is the outcome of one simulation run.
+type RunResult struct {
+	Completed  bool
+	Elapsed    time.Duration
+	GoodputBps float64 // achieved goodput (received bytes over elapsed)
+	BytesRecvd uint64
+}
+
+// effectiveRateBps estimates the rate a loss-limited reliable transfer
+// can sustain on a path: the link capacity capped by the Mathis bound
+// MSS/(RTT·√p) under random loss.
+func effectiveRateBps(p netem.PathSpec) float64 {
+	rate := p.CapacityMbps * 1e6
+	if p.LossRate > 0 {
+		rtt := p.RTT.Seconds() + p.QueueDelay.Seconds()/2
+		if rtt < 0.01 {
+			rtt = 0.01
+		}
+		mathis := 1378 * 8 / rtt / math.Sqrt(p.LossRate)
+		if mathis < rate {
+			rate = mathis
+		}
+	}
+	return rate
+}
+
+// deadlineFor bounds a run: a generous multiple of the ideal transfer
+// time at the effective rate the protocol can actually use (the start
+// path for single-path protocols, the better path for multipath),
+// floored for handshake-dominated short transfers.
+func deadlineFor(sc Scenario, proto Protocol, size uint64, startPath int) time.Duration {
+	rate := effectiveRateBps(sc.Paths[startPath])
+	if proto.Multipath() {
+		if other := effectiveRateBps(sc.Paths[1-startPath]); other > rate {
+			rate = other
+		}
+	}
+	ideal := time.Duration(float64(size) * 8 / rate * float64(time.Second))
+	d := 30*ideal + 2*time.Minute
+	if d > 6*time.Hour {
+		d = 6 * time.Hour
+	}
+	return d
+}
+
+// orderedSpecs reorders the scenario's paths so the connection's
+// initial path is index 0 (§4.1 varies the path used to start the
+// connection).
+func orderedSpecs(sc Scenario, startPath int) [2]netem.PathSpec {
+	if startPath == 0 {
+		return sc.Paths
+	}
+	return [2]netem.PathSpec{sc.Paths[1], sc.Paths[0]}
+}
+
+// Run executes one simulation: the given protocol downloading size
+// bytes over the scenario, with the connection initiated on startPath,
+// seeded with seed. Single-path protocols use startPath only.
+func Run(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64) RunResult {
+	clock := sim.NewClock()
+	clock.Limit = 400_000_000
+	specs := orderedSpecs(sc, startPath)
+	tp := netem.NewTwoPath(clock, sim.NewRand(seed), specs)
+	deadline := deadlineFor(sc, proto, size, startPath)
+
+	var (
+		done     *time.Duration
+		received func() uint64
+	)
+	now := func() time.Duration { return clock.Now().Duration() }
+
+	switch proto {
+	case ProtoQUIC, ProtoMPQUIC:
+		cfg := core.DefaultSinglePathConfig()
+		nPaths := 1
+		if proto == ProtoMPQUIC {
+			cfg = core.DefaultConfig()
+			nPaths = 2
+		}
+		cfg.HandshakeSeed = seed
+		lis := core.Listen(tp.Net, cfg, tp.ServerAddrs[:nPaths])
+		apps.NewGetServer(lis)
+		client := core.Dial(tp.Net, cfg, core.NewConnID(seed), tp.ClientAddrs[:nPaths], tp.ServerAddrs[:nPaths])
+		apps.NewGetClient(client, size, now, func(r apps.GetResult) {
+			el := r.Elapsed()
+			done = &el
+			clock.Stop()
+		})
+		received = func() uint64 {
+			if s := client.StreamByID(core.FirstClientStream); s != nil {
+				return s.BytesReceived()
+			}
+			return 0
+		}
+	case ProtoTCP:
+		cfg := tcpsim.DefaultConfig()
+		lis := tcpsim.ListenTCP(tp.Net, cfg, tp.ServerAddrs[0])
+		tcpsim.ServeGet(lis, size)
+		client := tcpsim.DialTCP(tp.Net, cfg, tp.ClientAddrs[0], tp.ServerAddrs[0])
+		tcpsim.GetOverTCP(client, size, now, func(r tcpsim.GetResult) {
+			el := r.Elapsed()
+			done = &el
+			clock.Stop()
+		})
+		received = client.BytesReceived
+	case ProtoMPTCP:
+		cfg := mptcpsim.DefaultConfig()
+		lis := mptcpsim.ListenMPTCP(tp.Net, cfg, tp.ServerAddrs[:])
+		mptcpsim.ServeGet(lis, size)
+		client := mptcpsim.DialMPTCP(tp.Net, cfg, uint32(seed)|1, tp.ClientAddrs[:], tp.ServerAddrs[:])
+		mptcpsim.GetOverMPTCP(client, size, now, func(r mptcpsim.GetResult) {
+			el := r.Elapsed()
+			done = &el
+			clock.Stop()
+		})
+		received = client.BytesReceived
+	}
+
+	err := clock.RunUntil(sim.Time(deadline))
+	res := RunResult{}
+	if done != nil && err == nil {
+		res.Completed = true
+		res.Elapsed = *done
+		res.BytesRecvd = size
+		res.GoodputBps = float64(size) * 8 / res.Elapsed.Seconds()
+		return res
+	}
+	// Incomplete (or aborted) run: charge the deadline, credit what
+	// arrived. A goodput of ~0 maps to the paper's EBen = −1 "failed
+	// to transfer" notion.
+	res.Elapsed = deadline
+	res.BytesRecvd = received()
+	res.GoodputBps = float64(res.BytesRecvd) * 8 / deadline.Seconds()
+	return res
+}
+
+// RunMPQUICVariant runs one MPQUIC download with a custom engine
+// configuration — the hook the ablation benchmarks use to toggle the
+// §3 design choices (scheduler kind, duplication, congestion-control
+// coupling, WINDOW_UPDATE broadcast).
+func RunMPQUICVariant(sc Scenario, cfg core.Config, size uint64, startPath int, seed uint64) RunResult {
+	clock := sim.NewClock()
+	clock.Limit = 400_000_000
+	specs := orderedSpecs(sc, startPath)
+	tp := netem.NewTwoPath(clock, sim.NewRand(seed), specs)
+	deadline := deadlineFor(sc, ProtoMPQUIC, size, startPath)
+	cfg.HandshakeSeed = seed
+	nPaths := 2
+	if !cfg.Multipath {
+		nPaths = 1
+	}
+	lis := core.Listen(tp.Net, cfg, tp.ServerAddrs[:nPaths])
+	apps.NewGetServer(lis)
+	client := core.Dial(tp.Net, cfg, core.NewConnID(seed), tp.ClientAddrs[:nPaths], tp.ServerAddrs[:nPaths])
+	var done *time.Duration
+	now := func() time.Duration { return clock.Now().Duration() }
+	apps.NewGetClient(client, size, now, func(r apps.GetResult) {
+		el := r.Elapsed()
+		done = &el
+		clock.Stop()
+	})
+	err := clock.RunUntil(sim.Time(deadline))
+	res := RunResult{}
+	if done != nil && err == nil {
+		res.Completed = true
+		res.Elapsed = *done
+		res.BytesRecvd = size
+		res.GoodputBps = float64(size) * 8 / res.Elapsed.Seconds()
+		return res
+	}
+	res.Elapsed = deadline
+	if s := client.StreamByID(core.FirstClientStream); s != nil {
+		res.BytesRecvd = s.BytesReceived()
+	}
+	res.GoodputBps = float64(res.BytesRecvd) * 8 / deadline.Seconds()
+	return res
+}
+
+// RunMedian runs reps seeded repetitions and returns the median-elapsed
+// run (the paper analyzes the median of 3).
+func RunMedian(sc Scenario, proto Protocol, size uint64, startPath int, reps int, baseSeed uint64) RunResult {
+	if reps <= 0 {
+		reps = 1
+	}
+	results := make([]RunResult, reps)
+	for i := 0; i < reps; i++ {
+		results[i] = Run(sc, proto, size, startPath, baseSeed+uint64(i)*7919)
+	}
+	// Median by elapsed time.
+	best := results[0]
+	if reps > 1 {
+		sorted := append([]RunResult(nil), results...)
+		for i := 1; i < len(sorted); i++ {
+			for j := i; j > 0 && sorted[j].Elapsed < sorted[j-1].Elapsed; j-- {
+				sorted[j], sorted[j-1] = sorted[j-1], sorted[j]
+			}
+		}
+		best = sorted[len(sorted)/2]
+	}
+	return best
+}

@@ -1,0 +1,64 @@
+package mptcpsim
+
+import "time"
+
+// GetRequestSize mirrors the TCP model's request size.
+const GetRequestSize = 100
+
+// GetResult reports one finished MPTCP download.
+type GetResult struct {
+	Size          uint64
+	Start         time.Duration
+	Finish        time.Duration
+	EstablishedAt time.Duration
+}
+
+// Elapsed is the client-perceived download time.
+func (r GetResult) Elapsed() time.Duration { return r.Finish - r.Start }
+
+// GoodputBps is application goodput in bits per second.
+func (r GetResult) GoodputBps() float64 {
+	el := r.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(r.Size) * 8 / el
+}
+
+// ServeGet attaches a GET responder to every accepted connection.
+func ServeGet(l *Listener, size uint64) {
+	l.OnConnection(func(c *Conn) {
+		served := false
+		c.OnData(func() {
+			if n := c.Readable(); n > 0 {
+				c.Read(n)
+			}
+			if c.Finished() && !served {
+				served = true
+				c.WriteSynthetic(size)
+				c.CloseWrite()
+			}
+		})
+	})
+}
+
+// GetOverMPTCP arms a client-side download.
+func GetOverMPTCP(c *Conn, size uint64, now func() time.Duration, onDone func(GetResult)) {
+	start := now()
+	done := false
+	c.OnEstablished(func() {
+		c.WriteSynthetic(GetRequestSize)
+		c.CloseWrite()
+	})
+	c.OnData(func() {
+		if n := c.Readable(); n > 0 {
+			c.Read(n)
+		}
+		if c.Finished() && !done {
+			done = true
+			if onDone != nil {
+				onDone(GetResult{Size: size, Start: start, Finish: now(), EstablishedAt: c.Stats.EstablishedAt})
+			}
+		}
+	})
+}

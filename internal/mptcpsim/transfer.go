@@ -1,0 +1,727 @@
+package mptcpsim
+
+import (
+	"sort"
+	"time"
+
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+	"mpquic/internal/stream"
+	"mpquic/internal/tcpsim"
+)
+
+// --- handshake ---
+
+func (c *Conn) sendHandshakeSeg(sf *Subflow, seg *tcpsim.Segment) {
+	seg.MP = true
+	seg.Token = c.token
+	seg.SubflowID = sf.ID
+	if seg.SYN && sf.ID != 0 {
+		seg.Join = true
+	}
+	seg.Window = c.advertisedWindow()
+	sf.hsSentAt = c.now()
+	c.transmit(sf, seg)
+}
+
+func (c *Conn) onSubflowHsTimeout(sf *Subflow) {
+	if c.closed || sf.state == sfEstablished {
+		return
+	}
+	sf.est.Backoff()
+	switch sf.state {
+	case sfSynSent:
+		c.sendHandshakeSeg(sf, &tcpsim.Segment{SYN: true})
+	case sfSynReceived:
+		c.sendHandshakeSeg(sf, &tcpsim.Segment{SYN: true, ACK: true})
+	case sfTLSClientHello:
+		c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true, Ctl: tcpsim.CtlTLSClient1})
+	case sfTLSServerDone:
+		c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true, Ctl: tcpsim.CtlTLSServer1})
+	case sfTLSClientFin:
+		c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true, Ctl: tcpsim.CtlTLSClient2})
+	}
+	sf.hsTimer.ResetAfter(sf.est.RTO())
+}
+
+// handleSubflowHandshake advances the subflow handshake; reports
+// whether the segment was purely a handshake message.
+func (c *Conn) handleSubflowHandshake(sf *Subflow, seg *tcpsim.Segment) bool {
+	switch {
+	case seg.SYN && seg.ACK:
+		if sf.state != sfSynSent {
+			return true
+		}
+		sf.est.Update(c.now()-sf.hsSentAt, 0)
+		if sf.ID == 0 && c.cfg.TLS {
+			sf.state = sfTLSClientHello
+			c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true, Ctl: tcpsim.CtlTLSClient1})
+			sf.hsTimer.ResetAfter(sf.est.RTO())
+		} else {
+			// Joined subflows (and non-TLS initial): plain 3WHS.
+			c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true})
+			c.subflowEstablished(sf)
+		}
+		return true
+	case seg.SYN:
+		if sf.state == sfIdle {
+			sf.state = sfSynReceived
+		}
+		c.sendHandshakeSeg(sf, &tcpsim.Segment{SYN: true, ACK: true})
+		sf.hsTimer.ResetAfter(sf.est.RTO())
+		return true
+	}
+	switch seg.Ctl {
+	case tcpsim.CtlTLSClient1:
+		if sf.state == sfSynReceived || sf.state == sfTLSServerDone {
+			sf.state = sfTLSServerDone
+			c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true, Ctl: tcpsim.CtlTLSServer1})
+			sf.hsTimer.ResetAfter(sf.est.RTO())
+		}
+		return true
+	case tcpsim.CtlTLSServer1:
+		if sf.state == sfTLSClientHello {
+			sf.state = sfTLSClientFin
+			sf.est.Update(c.now()-sf.hsSentAt, 0)
+			c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true, Ctl: tcpsim.CtlTLSClient2})
+			sf.hsTimer.ResetAfter(sf.est.RTO())
+		}
+		return true
+	case tcpsim.CtlTLSClient2:
+		if sf.state == sfTLSServerDone {
+			c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true, Ctl: tcpsim.CtlTLSServer2})
+			c.subflowEstablished(sf)
+		} else if sf.state == sfEstablished {
+			c.sendHandshakeSeg(sf, &tcpsim.Segment{ACK: true, Ctl: tcpsim.CtlTLSServer2})
+		}
+		return true
+	case tcpsim.CtlTLSServer2:
+		if sf.state == sfTLSClientFin {
+			sf.est.Update(c.now()-sf.hsSentAt, 0)
+			c.subflowEstablished(sf)
+		}
+		return true
+	}
+	if sf.state == sfSynReceived {
+		// Bare ACK (or data) completes the server-side 3WHS.
+		c.subflowEstablished(sf)
+		return seg.Len == 0 && !seg.ACK
+	}
+	return false
+}
+
+func (c *Conn) subflowEstablished(sf *Subflow) {
+	if sf.state == sfEstablished {
+		return
+	}
+	sf.state = sfEstablished
+	sf.hsTimer.Stop()
+	sf.est.ResetBackoff()
+	sf.EstablishedAt = c.now()
+	if sf.ID == 0 && !c.established {
+		c.established = true
+		c.Stats.EstablishedAt = c.now()
+		if c.isClient {
+			c.startJoins()
+		}
+		if c.onEstablished != nil {
+			c.onEstablished()
+		}
+	}
+	c.trySend()
+}
+
+// startJoins opens one additional subflow per extra address pair —
+// each needing its own 3-way handshake before any data (the MPTCP
+// handicap §3 contrasts with MPQUIC's data-in-first-packet).
+func (c *Conn) startJoins() {
+	n := len(c.locals)
+	if len(c.remotes) < n {
+		n = len(c.remotes)
+	}
+	for i := 1; i < n; i++ {
+		sf := c.addSubflow(uint8(i), c.locals[i], c.remotes[i])
+		sf.state = sfSynSent
+		c.sendHandshakeSeg(sf, &tcpsim.Segment{SYN: true})
+		sf.hsTimer.ResetAfter(sf.est.RTO())
+	}
+}
+
+// --- receiving ---
+
+func (c *Conn) handleSegment(dg netem.Datagram, seg *tcpsim.Segment) {
+	if c.closed {
+		return
+	}
+	sf := c.SubflowByID(seg.SubflowID)
+	if sf == nil {
+		if !seg.SYN {
+			return
+		}
+		// Server side learns a joined subflow from its SYN.
+		sf = c.addSubflow(seg.SubflowID, dg.To, dg.From)
+	}
+	c.lastRecvTime = c.now()
+
+	// Data-level window and ack are on every segment.
+	if lim := seg.DataAck + seg.Window; lim > c.peerDataLimit {
+		c.peerDataLimit = lim
+	}
+	if seg.DataAck > c.dataAcked {
+		c.dataAcked = seg.DataAck
+		c.pruneReinjectQueue()
+	}
+
+	if sf.state != sfEstablished || seg.SYN || seg.Ctl != tcpsim.CtlNone {
+		if c.handleSubflowHandshake(sf, seg) {
+			return
+		}
+	}
+	if seg.ACK {
+		c.processSubflowAck(sf, seg)
+	}
+	if seg.Len > 0 || seg.DataFin {
+		c.processPayload(sf, seg)
+	}
+	c.trySend()
+	c.armTimer()
+}
+
+func (c *Conn) processSubflowAck(sf *Subflow, seg *tcpsim.Segment) {
+	if seg.AckNum > sf.cumAcked {
+		sf.cumAcked = seg.AckNum
+	}
+	for _, b := range seg.SACK {
+		sf.sacked.Add(b.Start, b.End)
+	}
+	sf.sacked.Remove(0, sf.cumAcked)
+	maxCover := sf.cumAcked
+	if ivs := sf.sacked.Intervals(); len(ivs) > 0 {
+		if end := ivs[len(ivs)-1].End; end > maxCover {
+			maxCover = end
+		}
+	}
+	var ackedBytes int
+	progress := false
+	rtxLeft := sf.liveRtx
+	for _, r := range sf.records {
+		if r.settled {
+			continue
+		}
+		if r.isRtx {
+			rtxLeft--
+		}
+		if r.sfStart >= maxCover {
+			if rtxLeft <= 0 && !r.isRtx {
+				break // fresh records are in sequence order
+			}
+			continue // beyond everything acknowledged
+		}
+		covered := r.sfEnd <= sf.cumAcked ||
+			(r.sfStart < r.sfEnd && sf.sacked.Contains(r.sfStart, r.sfEnd))
+		if !covered {
+			continue
+		}
+		r.settled = true
+		progress = true
+		if r.isRtx {
+			sf.liveRtx--
+		}
+		sf.bytesInFlight -= r.wireSize
+		ackedBytes += int(r.sfEnd - r.sfStart)
+		if r.dataFin {
+			c.finAcked = true
+		}
+		if !sf.hasAckTx || r.txSeq > sf.highestAckTx {
+			sf.highestAckTx = r.txSeq
+			sf.hasAckTx = true
+			if !r.isRtx {
+				// Karn: only fresh transmissions yield samples.
+				sf.est.Update(c.now()-r.sentTime, 0)
+			}
+		}
+	}
+	if progress {
+		sf.est.ResetBackoff()
+		sf.lastProgress = c.now()
+		sf.cc.OnPacketAcked(ackedBytes, sf.est.SmoothedRTT())
+		if sf.potentiallyFailed {
+			sf.potentiallyFailed = false // data acked: path works (§4.3)
+		}
+	}
+	// FACK loss detection.
+	var lost []*sfRecord
+	if sf.hasAckTx {
+		for _, r := range sf.records {
+			if r.txSeq+dupThresh > sf.highestAckTx {
+				break // records are in transmission order
+			}
+			if r.settled {
+				continue
+			}
+			r.settled = true
+			if r.isRtx {
+				sf.liveRtx--
+			}
+			sf.bytesInFlight -= r.wireSize
+			lost = append(lost, r)
+		}
+	}
+	if len(lost) > 0 {
+		var largestTx uint64
+		for _, r := range lost {
+			if r.txSeq > largestTx {
+				largestTx = r.txSeq
+			}
+			sf.requeueLocal(r)
+		}
+		if !sf.hasCutback || largestTx >= sf.cutbackTx {
+			sf.cutbackTx = sf.nextTxSeq
+			sf.hasCutback = true
+			sf.cc.OnCongestionEvent()
+		}
+	}
+	c.trimRecords(sf)
+}
+
+func (c *Conn) trimRecords(sf *Subflow) {
+	i := 0
+	for i < len(sf.records) && sf.records[i].settled {
+		i++
+	}
+	if i > 0 {
+		sf.records = sf.records[i:]
+	}
+	if len(sf.records) > 64 {
+		n := 0
+		for _, r := range sf.records {
+			if r.settled {
+				n++
+			}
+		}
+		if n > len(sf.records)/2 {
+			kept := sf.records[:0]
+			for _, r := range sf.records {
+				if !r.settled {
+					kept = append(kept, r)
+				}
+			}
+			sf.records = kept
+		}
+	}
+}
+
+func (c *Conn) processPayload(sf *Subflow, seg *tcpsim.Segment) {
+	newBytes := uint64(0)
+	if seg.Len > 0 {
+		if !seg.DataFinOnly {
+			before := c.dataReceived.Size()
+			c.dataReceived.Add(seg.DataSeq, seg.DataSeq+uint64(seg.Len))
+			newBytes = c.dataReceived.Size() - before
+		}
+		sf.received.Add(seg.Seq, seg.End())
+	}
+	if seg.DataFin {
+		c.dataFinRecvd = true
+		if seg.DataFinOnly {
+			c.dataFinSeq = seg.DataSeq
+		} else {
+			c.dataFinSeq = seg.DataSeq + uint64(seg.Len)
+		}
+	}
+	sf.unackedSegs++
+	outOfOrder := false
+	if ivs := sf.received.Intervals(); len(ivs) > 0 {
+		outOfOrder = sf.received.FirstMissingFrom(0) < ivs[len(ivs)-1].End
+	}
+	if sf.unackedSegs >= 2 || outOfOrder || seg.DataFin {
+		sf.ackQueued = true
+	} else if sf.ackDeadline == 0 {
+		sf.ackDeadline = c.now() + 25*time.Millisecond
+	}
+	if c.onData != nil && (newBytes > 0 || seg.DataFin) {
+		c.onData()
+	}
+	if sf.ackQueued {
+		c.sendAck(sf)
+	}
+}
+
+// --- acks ---
+
+func (c *Conn) dataCumAck() uint64 { return c.dataReceived.FirstMissingFrom(0) }
+
+func (c *Conn) advertisedWindow() uint64 {
+	used := c.dataCumAck() - c.consumed
+	if used >= c.cfg.RecvWindow {
+		return 0
+	}
+	return c.cfg.RecvWindow - used
+}
+
+func (c *Conn) ackFields(sf *Subflow, seg *tcpsim.Segment) {
+	seg.ACK = true
+	seg.MP = true
+	seg.Token = c.token
+	seg.SubflowID = sf.ID
+	seg.AckNum = sf.received.FirstMissingFrom(0)
+	seg.DataAck = c.dataCumAck()
+	seg.Window = c.advertisedWindow()
+	c.lastAdvWnd = seg.Window
+	seg.SACK = sfBuildSACK(sf.received.Intervals(), seg.AckNum)
+	sf.ackQueued = false
+	sf.ackDeadline = 0
+	sf.unackedSegs = 0
+}
+
+// sfBuildSACK mirrors tcpsim's 3-block SACK limit.
+func sfBuildSACK(ivs []stream.Interval, cum uint64) []tcpsim.SACKBlock {
+	var blocks []tcpsim.SACKBlock
+	for i := len(ivs) - 1; i >= 0 && len(blocks) < tcpsim.MaxSACKBlocks; i-- {
+		if ivs[i].End <= cum {
+			continue
+		}
+		start := ivs[i].Start
+		if start < cum {
+			start = cum
+		}
+		blocks = append(blocks, tcpsim.SACKBlock{Start: start, End: ivs[i].End})
+	}
+	return blocks
+}
+
+func (c *Conn) sendAck(sf *Subflow) {
+	seg := &tcpsim.Segment{}
+	c.ackFields(sf, seg)
+	c.transmit(sf, seg)
+}
+
+// --- sending ---
+
+// eligible returns established subflows usable by the scheduler:
+// non-PF ones, or all established subflows when every one is PF.
+func (c *Conn) eligible() []*Subflow {
+	var healthy, all []*Subflow
+	for _, sf := range c.subflows {
+		if sf.state != sfEstablished {
+			continue
+		}
+		all = append(all, sf)
+		if !sf.potentiallyFailed {
+			healthy = append(healthy, sf)
+		}
+	}
+	if len(healthy) > 0 {
+		return healthy
+	}
+	return all
+}
+
+// bestSubflow picks the lowest-smoothed-RTT eligible subflow with
+// window space (the Linux default scheduler, §3).
+func (c *Conn) bestSubflow() *Subflow {
+	var best *Subflow
+	for _, sf := range c.eligible() {
+		if !sf.cwndAvailable() {
+			continue
+		}
+		if best == nil || sf.est.SmoothedRTT() < best.est.SmoothedRTT() {
+			best = sf
+		}
+	}
+	return best
+}
+
+func (c *Conn) trySend() {
+	if c.closed || !c.established {
+		return
+	}
+	for {
+		sent := false
+		// 1. In-subflow retransmissions first, on their own subflow
+		//    (sequence integrity).
+		els := c.eligible()
+		sort.Slice(els, func(i, j int) bool {
+			return els[i].est.SmoothedRTT() < els[j].est.SmoothedRTT()
+		})
+		for _, sf := range els {
+			for len(sf.rtxQueue) > 0 && sf.cwndAvailable() {
+				ch := sf.rtxQueue[0]
+				sf.rtxQueue = sf.rtxQueue[1:]
+				c.sendMapped(sf, ch.sfStart, ch.sfEnd, ch.dataStart, ch.dataEnd, ch.dataFin, true, false)
+				sent = true
+			}
+		}
+		// 2. Connection-level reinjections (PF handover, ORP) on the
+		//    best available subflow with fresh subflow sequence space.
+		for len(c.reinjectQueue) > 0 {
+			sf := c.bestSubflow()
+			if sf == nil {
+				break
+			}
+			ch := c.reinjectQueue[0]
+			c.reinjectQueue = c.reinjectQueue[1:]
+			if ch.end <= c.dataAcked && !ch.dataFin {
+				continue // already delivered via another subflow
+			}
+			n := ch.end - ch.start
+			if n == 0 && ch.dataFin {
+				n = 1 // bare DATA_FIN carrier
+			}
+			c.sendMapped(sf, sf.sndNxt, sf.sndNxt+n, ch.start, ch.end, ch.dataFin, false, true)
+			sf.sndNxt += n
+			sent = true
+		}
+		// 3. New data on the best subflow.
+		for {
+			if c.dataNxt >= c.writeOffset || c.dataNxt >= c.peerDataLimit {
+				break
+			}
+			sf := c.bestSubflow()
+			if sf == nil {
+				break
+			}
+			n := c.writeOffset - c.dataNxt
+			if n > MSS {
+				n = MSS
+			}
+			if room := c.peerDataLimit - c.dataNxt; n > room {
+				n = room
+			}
+			fin := c.finQueued && c.dataNxt+n == c.writeOffset
+			c.sendMapped(sf, sf.sndNxt, sf.sndNxt+n, c.dataNxt, c.dataNxt+n, fin, false, false)
+			sf.sndNxt += n
+			c.dataNxt += n
+			if fin {
+				c.finAssigned = true
+			}
+			sent = true
+		}
+		// 4. Bare DATA_FIN.
+		if c.finQueued && !c.finAssigned && c.dataNxt == c.writeOffset {
+			if sf := c.bestSubflow(); sf != nil {
+				c.sendMapped(sf, sf.sndNxt, sf.sndNxt+1, c.writeOffset, c.writeOffset, true, false, false)
+				sf.sndNxt++
+				c.finAssigned = true
+				sent = true
+			}
+		}
+		if !sent {
+			break
+		}
+	}
+	c.maybeORP()
+	// Flush owed acknowledgments.
+	for _, sf := range c.subflows {
+		if sf.state == sfEstablished && sf.ackQueued {
+			c.sendAck(sf)
+		}
+	}
+	c.armTimer()
+}
+
+// maybeORP applies Opportunistic Retransmission and Penalization
+// (§4.1): when the shared receive window stalls the transfer and a
+// faster subflow sits idle, the oldest un-data-acked chunk (owned by
+// another subflow) is reinjected on the idle subflow and the owner is
+// penalized with a halved window.
+func (c *Conn) maybeORP() {
+	if !c.cfg.ORP || c.closed {
+		return
+	}
+	blocked := c.dataNxt < c.writeOffset && c.dataNxt >= c.peerDataLimit
+	if !blocked {
+		return
+	}
+	if c.lastORPAt == c.dataAcked && c.orpArmed {
+		return // one reinjection per stall point
+	}
+	idle := c.bestSubflow()
+	if idle == nil || !idle.idle() {
+		return
+	}
+	// Find the owner of the oldest un-data-acked chunk.
+	var owner *Subflow
+	var chunk dataChunk
+	for _, sf := range c.subflows {
+		for _, r := range sf.records {
+			if r.settled || r.dataEnd <= c.dataAcked || r.dataStart > c.dataAcked {
+				continue
+			}
+			owner = sf
+			chunk = dataChunk{start: r.dataStart, end: r.dataEnd, dataFin: r.dataFin}
+			break
+		}
+		if owner != nil {
+			break
+		}
+	}
+	if owner == nil || owner == idle {
+		return
+	}
+	n := chunk.end - chunk.start
+	c.sendMapped(idle, idle.sndNxt, idle.sndNxt+n, chunk.start, chunk.end, chunk.dataFin, false, true)
+	idle.sndNxt += n
+	c.lastORPAt = c.dataAcked
+	c.orpArmed = true
+	c.Stats.Reinjections++
+	// Penalize the slow owner at most once per its RTT.
+	now := c.now()
+	if now-owner.lastPenalty >= owner.est.SmoothedRTT() {
+		owner.cc.OnCongestionEvent()
+		owner.lastPenalty = now
+		c.Stats.Penalizations++
+	}
+}
+
+// sendMapped emits one data-bearing segment on sf with the given
+// subflow-sequence and data-sequence mapping.
+func (c *Conn) sendMapped(sf *Subflow, sfStart, sfEnd, dataStart, dataEnd uint64, dataFin, isRtx, isReinject bool) {
+	seg := &tcpsim.Segment{
+		Seq:     sfStart,
+		Len:     int(sfEnd - sfStart),
+		DataSeq: dataStart,
+		DataFin: dataFin,
+		EchoRTX: isRtx,
+	}
+	if dataStart == dataEnd && dataFin {
+		// Bare DATA_FIN carrier: one subflow byte, no app payload.
+		seg.DataFinOnly = true
+		seg.DataSeq = dataEnd
+	}
+	c.ackFields(sf, seg)
+	if isRtx {
+		sf.liveRtx++
+	}
+	rec := &sfRecord{
+		txSeq:     sf.nextTxSeq,
+		sfStart:   sfStart,
+		sfEnd:     sfEnd,
+		dataStart: dataStart,
+		dataEnd:   dataEnd,
+		dataFin:   dataFin,
+		isRtx:     isRtx,
+		reinject:  isReinject,
+		sentTime:  c.now(),
+		wireSize:  seg.WireSize(),
+	}
+	sf.nextTxSeq++
+	sf.records = append(sf.records, rec)
+	sf.bytesInFlight += rec.wireSize
+	sf.lastSent = c.now()
+	sf.DataBytesSent += dataEnd - dataStart
+	if isReinject {
+		sf.Reinjections++
+	}
+	c.transmit(sf, seg)
+}
+
+func (c *Conn) transmit(sf *Subflow, seg *tcpsim.Segment) {
+	seg.MP = true
+	seg.Token = c.token
+	seg.SubflowID = sf.ID
+	sf.SentSegments++
+	sf.SentBytes += uint64(seg.WireSize())
+	c.nw.Send(netem.Datagram{From: sf.Local, To: sf.Remote, Size: seg.WireSize(), Payload: seg})
+}
+
+func (c *Conn) pruneReinjectQueue() {
+	kept := c.reinjectQueue[:0]
+	for _, ch := range c.reinjectQueue {
+		if ch.end > c.dataAcked || ch.dataFin {
+			kept = append(kept, ch)
+		}
+	}
+	c.reinjectQueue = kept
+	c.orpArmed = false
+}
+
+// --- timers ---
+
+func (c *Conn) onTimer() {
+	if c.closed {
+		return
+	}
+	now := c.now()
+	if c.cfg.IdleTimeout > 0 && now-c.lastRecvTime >= c.cfg.IdleTimeout {
+		c.closeWith(errIdle)
+		return
+	}
+	for _, sf := range c.subflows {
+		if sf.state != sfEstablished {
+			continue
+		}
+		if sf.ackDeadline != 0 && now >= sf.ackDeadline {
+			c.sendAck(sf)
+		}
+		if sf.bytesInFlight > 0 && now-sf.rtoBase() >= sf.est.RTO() {
+			c.onSubflowRTO(sf)
+		}
+	}
+	c.trySend()
+	c.armTimer()
+}
+
+// onSubflowRTO marks the subflow potentially failed, requeues its
+// outstanding data locally (in-sequence) AND reinjects it at the
+// connection level so other subflows can carry it — the Linux MPTCP
+// handover behavior the paper compares against (§4.3).
+func (c *Conn) onSubflowRTO(sf *Subflow) {
+	sf.RTOCount++
+	c.Stats.RTOs++
+	for _, r := range sf.records {
+		if r.settled {
+			continue
+		}
+		r.settled = true
+		if r.isRtx {
+			sf.liveRtx--
+		}
+		sf.bytesInFlight -= r.wireSize
+		sf.requeueLocal(r)
+		if r.dataEnd > c.dataAcked || r.dataFin {
+			c.reinjectQueue = append(c.reinjectQueue, dataChunk{start: r.dataStart, end: r.dataEnd, dataFin: r.dataFin})
+			c.Stats.Reinjections++
+		}
+	}
+	c.trimRecords(sf)
+	sf.est.Backoff()
+	sf.cc.OnRTO()
+	sf.hasCutback = false
+	if len(c.eligible()) > 1 {
+		sf.potentiallyFailed = true
+	}
+}
+
+func (c *Conn) armTimer() {
+	if c.closed {
+		return
+	}
+	deadline := time.Duration(1<<62 - 1)
+	for _, sf := range c.subflows {
+		if sf.state != sfEstablished {
+			continue
+		}
+		if sf.bytesInFlight > 0 {
+			if d := sf.rtoBase() + sf.est.RTO(); d < deadline {
+				deadline = d
+			}
+		}
+		if sf.ackDeadline != 0 && sf.ackDeadline < deadline {
+			deadline = sf.ackDeadline
+		}
+	}
+	if c.cfg.IdleTimeout > 0 {
+		if d := c.lastRecvTime + c.cfg.IdleTimeout; d < deadline {
+			deadline = d
+		}
+	}
+	if deadline == time.Duration(1<<62-1) {
+		c.timer.Stop()
+		return
+	}
+	if deadline < c.now() {
+		deadline = c.now()
+	}
+	c.timer.Reset(sim.Time(deadline))
+}

@@ -1,0 +1,108 @@
+package netem
+
+import (
+	"testing"
+	"time"
+
+	"mpquic/internal/sim"
+)
+
+func TestConnectAsymDirections(t *testing.T) {
+	clock := sim.NewClock()
+	n := New(clock, sim.NewRand(1))
+	var aToB, bToA sim.Time
+	n.Register("b", HandlerFunc(func(d Datagram) { aToB = clock.Now() }))
+	n.Register("a", HandlerFunc(func(d Datagram) { bToA = clock.Now() }))
+	// Asymmetric: fast downlink, slow uplink (an ADSL-like path).
+	n.ConnectAsym("a", "b",
+		LinkConfig{RateMbps: 8, Delay: 10 * time.Millisecond, QueueDelay: time.Second},
+		LinkConfig{RateMbps: 0.8, Delay: 10 * time.Millisecond, QueueDelay: time.Second})
+	n.Send(dg("a", "b", 1000)) // 1 ms tx + 10 ms
+	n.Send(dg("b", "a", 1000)) // 10 ms tx + 10 ms
+	clock.Run()
+	if aToB != sim.Time(11*time.Millisecond) {
+		t.Fatalf("a->b at %v", aToB)
+	}
+	if bToA != sim.Time(20*time.Millisecond) {
+		t.Fatalf("b->a at %v", bToA)
+	}
+}
+
+func TestLinkStatsAccounting(t *testing.T) {
+	clock := sim.NewClock()
+	l := NewLink(clock, sim.NewRand(2), "t",
+		LinkConfig{RateMbps: 8, Delay: 0, QueueDelay: 3 * time.Millisecond}, func(Datagram) {})
+	for i := 0; i < 10; i++ {
+		l.Send(dg("a", "b", 1000))
+	}
+	clock.Run()
+	if l.Stats.SentPackets+l.Stats.QueueDrops != 10 {
+		t.Fatalf("stats don't add up: %+v", l.Stats)
+	}
+	if l.Stats.SentBytes != l.Stats.SentPackets*1000 {
+		t.Fatalf("byte accounting: %+v", l.Stats)
+	}
+	if l.Stats.QueueDrops == 0 {
+		t.Fatal("expected tail drops with a 3 ms queue")
+	}
+}
+
+func TestQueueBytesDrainOverTime(t *testing.T) {
+	clock := sim.NewClock()
+	l := NewLink(clock, sim.NewRand(1), "t",
+		LinkConfig{RateMbps: 8, Delay: 0, QueueDelay: time.Second}, func(Datagram) {})
+	l.Send(dg("a", "b", 1000))
+	l.Send(dg("a", "b", 1000))
+	if l.QueueBytes() != 2000 {
+		t.Fatalf("queue %d", l.QueueBytes())
+	}
+	clock.RunUntil(sim.Time(1500 * time.Microsecond)) // 1.5 packets serialized
+	if l.QueueBytes() != 1000 {
+		t.Fatalf("queue %d after partial drain", l.QueueBytes())
+	}
+	clock.Run()
+	if l.QueueBytes() != 0 {
+		t.Fatalf("queue %d after full drain", l.QueueBytes())
+	}
+}
+
+func TestSetPathLossTakesEffectMidRun(t *testing.T) {
+	clock := sim.NewClock()
+	tp := NewTwoPath(clock, sim.NewRand(9), [2]PathSpec{
+		{CapacityMbps: 100, RTT: 0, QueueDelay: time.Second},
+		{CapacityMbps: 100, RTT: 0, QueueDelay: time.Second},
+	})
+	got := 0
+	tp.Net.Register(tp.ServerAddrs[0], HandlerFunc(func(Datagram) { got++ }))
+	send := func() { tp.Net.Send(dg(tp.ClientAddrs[0], tp.ServerAddrs[0], 100)) }
+	for i := 0; i < 100; i++ {
+		send()
+	}
+	clock.Run()
+	if got != 100 {
+		t.Fatalf("lossless phase dropped packets: %d", got)
+	}
+	tp.SetPathLoss(0, 1.0)
+	for i := 0; i < 50; i++ {
+		send()
+	}
+	clock.Run()
+	if got != 100 {
+		t.Fatalf("full loss did not drop: %d", got)
+	}
+}
+
+func TestRouteLookup(t *testing.T) {
+	clock := sim.NewClock()
+	n := New(clock, sim.NewRand(1))
+	fwd, rev := n.Connect("a", "b", LinkConfig{RateMbps: 1, QueueDelay: time.Second})
+	if n.Route("a", "b") != fwd || n.Route("b", "a") != rev {
+		t.Fatal("route lookup broken")
+	}
+	if n.Route("a", "c") != nil {
+		t.Fatal("phantom route")
+	}
+	if fwd.Name() == "" || fwd.Config().RateMbps != 1 {
+		t.Fatal("link accessors")
+	}
+}

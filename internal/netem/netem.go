@@ -1,0 +1,260 @@
+// Package netem is a deterministic network emulator.
+//
+// It plays the role Mininet plays in the paper: packets travel over
+// links with a configurable capacity, propagation delay, bounded
+// tail-drop queue, and Bernoulli random loss — the four factors of the
+// paper's Table 1. Everything runs on a sim.Clock, so transfers are
+// exact in virtual time.
+//
+// The emulator is payload-agnostic: it moves Datagrams whose Size the
+// sending stack computed from its wire format. This lets the QUIC, TCP,
+// MPTCP and MPQUIC stacks share one network substrate.
+package netem
+
+import (
+	"fmt"
+	"time"
+
+	"mpquic/internal/sim"
+)
+
+// Addr identifies an interface endpoint, e.g. "10.0.1.1:443" or
+// "[2001:db8::1]:443". Addresses are opaque strings to the emulator.
+type Addr string
+
+// Payload is any packet body a protocol stack hands to the network.
+type Payload interface {
+	// WireSize is the number of bytes the payload occupies inside the
+	// transport datagram (excluding IP/UDP framing, which the sender
+	// accounts for in Datagram.Size).
+	WireSize() int
+}
+
+// Datagram is one network packet in flight.
+type Datagram struct {
+	From, To Addr
+	// Size is the total on-wire size in bytes, including network- and
+	// transport-layer framing. Links serialize Size bytes.
+	Size    int
+	Payload Payload
+}
+
+// Handler receives datagrams addressed to a registered address.
+type Handler interface {
+	HandleDatagram(dg Datagram)
+}
+
+// HandlerFunc adapts a function to the Handler interface.
+type HandlerFunc func(dg Datagram)
+
+// HandleDatagram calls f(dg).
+func (f HandlerFunc) HandleDatagram(dg Datagram) { f(dg) }
+
+// LinkConfig describes one unidirectional link.
+type LinkConfig struct {
+	// RateMbps is the link capacity in megabits per second.
+	RateMbps float64
+	// Delay is the one-way propagation delay.
+	Delay time.Duration
+	// QueueDelay bounds the tail-drop queue: the queue holds at most
+	// RateMbps×QueueDelay worth of bytes (floored at two MTUs so a
+	// zero-buffer link can still carry back-to-back packets).
+	QueueDelay time.Duration
+	// LossRate is the probability in [0,1] that a packet is dropped
+	// after leaving the queue (random wire loss, independent of
+	// congestion).
+	LossRate float64
+}
+
+// MTU is the maximum datagram size the emulator forwards, in bytes,
+// including framing. Larger datagrams are rejected with a panic: stacks
+// are responsible for segmentation.
+const MTU = 1500
+
+// LinkStats counts per-link activity.
+type LinkStats struct {
+	SentPackets    uint64 // delivered to the far end
+	SentBytes      uint64
+	QueueDrops     uint64 // tail-drop (congestion) losses
+	RandomDrops    uint64 // Bernoulli (wire) losses
+	EnqueueduBytes uint64
+}
+
+// Link is one unidirectional emulated link.
+type Link struct {
+	clock *sim.Clock
+	rand  *sim.Rand
+	cfg   LinkConfig
+	name  string
+
+	rateBps    float64 // bytes per second
+	queueCap   int     // bytes
+	queueBytes int
+	busyUntil  sim.Time
+	deliver    func(dg Datagram)
+	down       bool
+
+	Stats LinkStats
+}
+
+// NewLink builds a link delivering to the given sink.
+func NewLink(clock *sim.Clock, rand *sim.Rand, name string, cfg LinkConfig, deliver func(dg Datagram)) *Link {
+	if cfg.RateMbps <= 0 {
+		panic(fmt.Sprintf("netem: link %s has non-positive rate", name))
+	}
+	l := &Link{
+		clock:   clock,
+		rand:    rand,
+		cfg:     cfg,
+		name:    name,
+		rateBps: cfg.RateMbps * 1e6 / 8,
+		deliver: deliver,
+	}
+	l.queueCap = int(l.rateBps * cfg.QueueDelay.Seconds())
+	if l.queueCap < 2*MTU {
+		l.queueCap = 2 * MTU
+	}
+	return l
+}
+
+// Config returns the link's configuration.
+func (l *Link) Config() LinkConfig { return l.cfg }
+
+// Name returns the link's diagnostic name.
+func (l *Link) Name() string { return l.name }
+
+// QueueCapacityBytes reports the tail-drop bound.
+func (l *Link) QueueCapacityBytes() int { return l.queueCap }
+
+// SetLossRate changes the random loss probability at runtime (used by
+// the handover scenario where a path becomes fully lossy mid-run).
+func (l *Link) SetLossRate(p float64) { l.cfg.LossRate = p }
+
+// SetDown drops every subsequent packet when down is true.
+func (l *Link) SetDown(down bool) { l.down = down }
+
+// Send enqueues dg. Drops (queue overflow, random loss, link down)
+// are silent, exactly as on a real wire.
+func (l *Link) Send(dg Datagram) {
+	if dg.Size <= 0 || dg.Size > MTU {
+		panic(fmt.Sprintf("netem: datagram size %d out of (0,%d] on %s", dg.Size, MTU, l.name))
+	}
+	if l.down {
+		l.Stats.RandomDrops++
+		return
+	}
+	if l.queueBytes+dg.Size > l.queueCap {
+		l.Stats.QueueDrops++
+		return
+	}
+	l.queueBytes += dg.Size
+	l.Stats.EnqueueduBytes += uint64(dg.Size)
+
+	now := l.clock.Now()
+	start := l.busyUntil
+	if start < now {
+		start = now
+	}
+	txTime := time.Duration(float64(dg.Size) / l.rateBps * float64(time.Second))
+	finish := start.Add(txTime)
+	l.busyUntil = finish
+
+	l.clock.At(finish, func() {
+		l.queueBytes -= dg.Size
+		// Random loss is applied as the packet leaves the serializer:
+		// it occupied queue space but never arrives.
+		if l.cfg.LossRate > 0 && l.rand.Bernoulli(l.cfg.LossRate) {
+			l.Stats.RandomDrops++
+			return
+		}
+		l.Stats.SentPackets++
+		l.Stats.SentBytes += uint64(dg.Size)
+		l.clock.At(finish.Add(l.cfg.Delay), func() { l.deliver(dg) })
+	})
+}
+
+// QueueBytes reports the current queue occupancy.
+func (l *Link) QueueBytes() int { return l.queueBytes }
+
+// Network connects registered addresses through routed links.
+type Network struct {
+	clock    *sim.Clock
+	rand     *sim.Rand
+	handlers map[Addr]Handler
+	routes   map[routeKey]*Link
+	// Dropped counts datagrams sent to an address with no route.
+	Dropped uint64
+}
+
+type routeKey struct{ from, to Addr }
+
+// New creates an empty network on the given clock. rand seeds the
+// per-link loss processes.
+func New(clock *sim.Clock, rand *sim.Rand) *Network {
+	return &Network{
+		clock:    clock,
+		rand:     rand,
+		handlers: make(map[Addr]Handler),
+		routes:   make(map[routeKey]*Link),
+	}
+}
+
+// Clock returns the simulation clock the network runs on.
+func (n *Network) Clock() *sim.Clock { return n.clock }
+
+// Register attaches a handler to an address. Re-registering replaces
+// the previous handler (used when an endpoint rebinds).
+func (n *Network) Register(addr Addr, h Handler) {
+	n.handlers[addr] = h
+}
+
+// Unregister detaches the handler for addr.
+func (n *Network) Unregister(addr Addr) { delete(n.handlers, addr) }
+
+// AddRoute installs a unidirectional link carrying traffic from->to.
+func (n *Network) AddRoute(from, to Addr, link *Link) {
+	n.routes[routeKey{from, to}] = link
+}
+
+// Connect builds a bidirectional link pair between a and b with the
+// same config in both directions and returns (a->b, b->a).
+func (n *Network) Connect(a, b Addr, cfg LinkConfig) (*Link, *Link) {
+	fwd := NewLink(n.clock, n.rand.Fork(), fmt.Sprintf("%s->%s", a, b), cfg, n.deliverTo(b))
+	rev := NewLink(n.clock, n.rand.Fork(), fmt.Sprintf("%s->%s", b, a), cfg, n.deliverTo(a))
+	n.AddRoute(a, b, fwd)
+	n.AddRoute(b, a, rev)
+	return fwd, rev
+}
+
+// ConnectAsym is Connect with distinct per-direction configs.
+func (n *Network) ConnectAsym(a, b Addr, ab, ba LinkConfig) (*Link, *Link) {
+	fwd := NewLink(n.clock, n.rand.Fork(), fmt.Sprintf("%s->%s", a, b), ab, n.deliverTo(b))
+	rev := NewLink(n.clock, n.rand.Fork(), fmt.Sprintf("%s->%s", b, a), ba, n.deliverTo(a))
+	n.AddRoute(a, b, fwd)
+	n.AddRoute(b, a, rev)
+	return fwd, rev
+}
+
+func (n *Network) deliverTo(addr Addr) func(dg Datagram) {
+	return func(dg Datagram) {
+		if h, ok := n.handlers[addr]; ok {
+			h.HandleDatagram(dg)
+		}
+	}
+}
+
+// Send routes one datagram. Datagrams with no installed route are
+// counted in Dropped and discarded.
+func (n *Network) Send(dg Datagram) {
+	link, ok := n.routes[routeKey{dg.From, dg.To}]
+	if !ok {
+		n.Dropped++
+		return
+	}
+	link.Send(dg)
+}
+
+// Route returns the link from->to, or nil.
+func (n *Network) Route(from, to Addr) *Link {
+	return n.routes[routeKey{from, to}]
+}

@@ -1,0 +1,53 @@
+// Package quic exposes the single-path QUIC baseline of the
+// evaluation (§4.1: Google-QUIC-era protocol with CUBIC congestion
+// control and a 1-RTT secure handshake).
+//
+// Exactly like the paper's implementation — an extension of quic-go —
+// this reproduction keeps one engine for both protocols: plain QUIC is
+// the multipath engine (internal/core) with the multipath machinery
+// disabled. No Path ID byte travels in the public header, a single
+// packet-number space exists, and the congestion controller is CUBIC.
+// This package pins that configuration and provides single-path
+// constructors so baseline call sites cannot accidentally enable
+// multipath features.
+package quic
+
+import (
+	"mpquic/internal/core"
+	"mpquic/internal/netem"
+	"mpquic/internal/wire"
+)
+
+// Conn is a single-path QUIC connection.
+type Conn = core.Conn
+
+// Stream is an application stream handle.
+type Stream = core.Stream
+
+// Listener accepts QUIC connections.
+type Listener = core.Listener
+
+// DefaultConfig returns the single-path QUIC configuration used as the
+// paper's baseline: multipath off, CUBIC, 16 MB windows.
+func DefaultConfig() core.Config { return core.DefaultSinglePathConfig() }
+
+// sanitize forces single-path invariants onto a caller-supplied
+// configuration.
+func sanitize(cfg core.Config) core.Config {
+	cfg.Multipath = false
+	cfg.MaxPaths = 1
+	cfg.DuplicateOnNewPath = false
+	cfg.WindowUpdateAllPaths = false
+	cfg.PathsFrameOnFailure = false
+	return cfg
+}
+
+// Dial opens a single-path client connection from local to remote.
+func Dial(nw *netem.Network, cfg core.Config, connID wire.ConnectionID, local, remote netem.Addr) *Conn {
+	return core.Dial(nw, sanitize(cfg), connID, []netem.Addr{local}, []netem.Addr{remote})
+}
+
+// Listen starts a single-path QUIC server on one address.
+func Listen(nw *netem.Network, cfg core.Config, addr netem.Addr) *Listener {
+	return core.Listen(nw, sanitize(cfg), []netem.Addr{addr})
+}

@@ -1,0 +1,52 @@
+package quic
+
+import (
+	"testing"
+	"time"
+
+	"mpquic/internal/apps"
+	"mpquic/internal/core"
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+)
+
+func TestSinglePathTransfer(t *testing.T) {
+	clock := sim.NewClock()
+	nw := netem.New(clock, sim.NewRand(1))
+	nw.Connect("c:1", "s:443", netem.LinkConfig{RateMbps: 10, Delay: 15 * time.Millisecond, QueueDelay: 100 * time.Millisecond})
+	lis := Listen(nw, DefaultConfig(), "s:443")
+	apps.NewGetServer(lis)
+	client := Dial(nw, DefaultConfig(), 5, "c:1", "s:443")
+	var res *apps.GetResult
+	apps.NewGetClient(client, 1<<20, func() time.Duration { return clock.Now().Duration() },
+		func(r apps.GetResult) { res = &r })
+	if err := clock.RunUntil(sim.Time(60 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if res == nil {
+		t.Fatal("transfer did not finish")
+	}
+	if len(client.Paths()) != 1 {
+		t.Fatalf("%d paths on a single-path connection", len(client.Paths()))
+	}
+	if client.Paths()[0].CC().Name() != "cubic" {
+		t.Fatalf("baseline must run CUBIC, got %s", client.Paths()[0].CC().Name())
+	}
+}
+
+func TestSanitizeForcesSinglePath(t *testing.T) {
+	// Even a multipath config is coerced to the baseline shape.
+	cfg := core.DefaultConfig() // multipath on
+	clock := sim.NewClock()
+	nw := netem.New(clock, sim.NewRand(2))
+	nw.Connect("c:1", "s:443", netem.LinkConfig{RateMbps: 10, Delay: 10 * time.Millisecond, QueueDelay: 100 * time.Millisecond})
+	lis := Listen(nw, cfg, "s:443")
+	client := Dial(nw, cfg, 9, "c:1", "s:443")
+	clock.RunUntil(sim.Time(2 * time.Second))
+	if !client.HandshakeComplete() {
+		t.Fatal("handshake failed")
+	}
+	if len(client.Paths()) != 1 || len(lis.Conns()[0].Paths()) != 1 {
+		t.Fatal("sanitize failed to force one path")
+	}
+}

@@ -1,0 +1,345 @@
+// Package recovery implements QUIC loss detection for one packet-number
+// space. Multipath QUIC gives each path its own space (§3), so an
+// MPQUIC connection owns one recovery.Space per path while single-path
+// QUIC owns exactly one.
+//
+// Because retransmissions always use fresh packet numbers, every ACK
+// yields an unambiguous RTT sample (§2) — the property the paper
+// repeatedly credits for MPQUIC's scheduling precision.
+package recovery
+
+import (
+	"time"
+
+	"mpquic/internal/rtt"
+	"mpquic/internal/wire"
+)
+
+// Loss-detection constants (quic-go era values).
+const (
+	// PacketThreshold declares a packet lost when this many later
+	// packets were acknowledged ("fast retransmit").
+	PacketThreshold = 3
+	// timeThresholdNum/Den scale smoothed RTT for time-based loss
+	// ("early retransmit"): 9/8 · max(srtt, latest).
+	timeThresholdNum = 9
+	timeThresholdDen = 8
+)
+
+// SentPacket records one in-flight packet.
+type SentPacket struct {
+	PN     wire.PacketNumber
+	Frames []wire.Frame
+	// Size is the congestion-controlled size (full datagram bytes).
+	Size int
+	// SentTime is virtual time since simulation epoch.
+	SentTime time.Duration
+	// Retransmittable mirrors wire.Packet.IsRetransmittable.
+	Retransmittable bool
+	// Reinjected marks packets whose frames were proactively
+	// duplicated onto another path (tail reinjection), so each packet
+	// is reinjected at most once.
+	Reinjected bool
+
+	acked, lost bool
+}
+
+// Space tracks the sent half of one packet-number space.
+type Space struct {
+	est *rtt.Estimator
+
+	packets []*SentPacket // PN-ordered; head-trimmed as packets settle
+	index   map[wire.PacketNumber]*SentPacket
+
+	nextPN        wire.PacketNumber
+	largestAcked  wire.PacketNumber
+	bytesInFlight int
+	// retransmittableInFlight counts unsettled retransmittable packets.
+	retransmittableInFlight int
+	lossTime                time.Duration // earliest time-threshold deadline (0 = none)
+
+	// Congestion-event filtering: one decrease per window.
+	largestSentAtLastCutback wire.PacketNumber
+	hasCutback               bool
+
+	// Stats for traces and experiments.
+	Stats Stats
+}
+
+// Stats counts per-space recovery activity.
+type Stats struct {
+	PacketsSent   uint64
+	PacketsAcked  uint64
+	PacketsLost   uint64
+	BytesSent     uint64
+	BytesAcked    uint64
+	BytesLost     uint64
+	RTOCount      uint64
+	CongestionCut uint64
+}
+
+// NewSpace builds a space feeding RTT samples into est.
+func NewSpace(est *rtt.Estimator) *Space {
+	return &Space{
+		est:          est,
+		index:        make(map[wire.PacketNumber]*SentPacket),
+		largestAcked: wire.InvalidPacketNumber,
+	}
+}
+
+// NextPacketNumber allocates the next monotonically increasing PN.
+func (s *Space) NextPacketNumber() wire.PacketNumber {
+	pn := s.nextPN
+	s.nextPN++
+	return pn
+}
+
+// LargestAcked returns the largest PN the peer acknowledged, or
+// wire.InvalidPacketNumber.
+func (s *Space) LargestAcked() wire.PacketNumber { return s.largestAcked }
+
+// LargestSent returns the highest allocated PN + 1 (i.e. next to send).
+func (s *Space) LargestSent() wire.PacketNumber { return s.nextPN }
+
+// BytesInFlight reports unacknowledged, non-lost bytes.
+func (s *Space) BytesInFlight() int { return s.bytesInFlight }
+
+// HasRetransmittableInFlight reports whether any unsettled packet
+// needs reliability (drives RTO arming).
+func (s *Space) HasRetransmittableInFlight() bool { return s.retransmittableInFlight > 0 }
+
+// RTT returns the estimator bound to this space's path.
+func (s *Space) RTT() *rtt.Estimator { return s.est }
+
+// OnPacketSent records a transmission. The PN must come from
+// NextPacketNumber (strictly increasing).
+func (s *Space) OnPacketSent(sp *SentPacket) {
+	if len(s.packets) > 0 && sp.PN <= s.packets[len(s.packets)-1].PN {
+		panic("recovery: non-monotonic packet number")
+	}
+	s.packets = append(s.packets, sp)
+	s.index[sp.PN] = sp
+	s.bytesInFlight += sp.Size
+	if sp.Retransmittable {
+		s.retransmittableInFlight++
+	}
+	s.Stats.PacketsSent++
+	s.Stats.BytesSent += uint64(sp.Size)
+}
+
+// AckResult reports the outcome of processing one ACK frame.
+type AckResult struct {
+	NewlyAcked []*SentPacket
+	Lost       []*SentPacket
+	// HasRTTSample is set when the largest acked packet was newly
+	// acked (sample = now − sentTime − ackDelay, applied to the
+	// estimator already).
+	HasRTTSample bool
+	SampleRTT    time.Duration
+	// CongestionEvent is set when Lost contains a packet sent after
+	// the last window cutback — the caller should invoke the
+	// congestion controller exactly once.
+	CongestionEvent bool
+}
+
+// OnAck processes an ACK frame for this space at virtual time now.
+func (s *Space) OnAck(ack *wire.AckFrame, now time.Duration) AckResult {
+	var res AckResult
+	largest := ack.LargestAcked()
+	if largest == wire.InvalidPacketNumber {
+		return res
+	}
+	if s.largestAcked == wire.InvalidPacketNumber || largest > s.largestAcked {
+		s.largestAcked = largest
+	}
+	// Collect newly acked packets.
+	for _, sp := range s.packets {
+		if sp.acked || sp.lost {
+			continue
+		}
+		if sp.PN > largest {
+			break
+		}
+		if ack.Acks(sp.PN) {
+			sp.acked = true
+			s.settle(sp)
+			s.Stats.PacketsAcked++
+			s.Stats.BytesAcked += uint64(sp.Size)
+			res.NewlyAcked = append(res.NewlyAcked, sp)
+			if sp.PN == largest {
+				sample := now - sp.SentTime
+				if sample > 0 {
+					s.est.Update(sample, ack.AckDelay)
+					res.HasRTTSample = true
+					res.SampleRTT = sample
+				}
+			}
+		}
+	}
+	if len(res.NewlyAcked) > 0 {
+		s.est.ResetBackoff()
+	}
+	res.Lost = s.detectLost(now)
+	s.trim()
+	if len(res.Lost) > 0 {
+		res.CongestionEvent = s.registerCongestion(res.Lost)
+	}
+	return res
+}
+
+// registerCongestion applies once-per-window filtering and returns
+// whether the controller should decrease.
+func (s *Space) registerCongestion(lost []*SentPacket) bool {
+	var largestLost wire.PacketNumber
+	for _, sp := range lost {
+		if sp.PN > largestLost {
+			largestLost = sp.PN
+		}
+	}
+	if !s.hasCutback || largestLost >= s.largestSentAtLastCutback {
+		s.largestSentAtLastCutback = s.nextPN
+		s.hasCutback = true
+		s.Stats.CongestionCut++
+		return true
+	}
+	return false
+}
+
+// detectLost applies packet- and time-threshold loss detection.
+func (s *Space) detectLost(now time.Duration) []*SentPacket {
+	if s.largestAcked == wire.InvalidPacketNumber {
+		return nil
+	}
+	var lost []*SentPacket
+	s.lossTime = 0
+	threshold := s.timeThreshold()
+	for _, sp := range s.packets {
+		if sp.acked || sp.lost {
+			continue
+		}
+		if sp.PN >= s.largestAcked {
+			break
+		}
+		pnLost := s.largestAcked >= sp.PN+PacketThreshold
+		timeLost := threshold > 0 && sp.SentTime+threshold <= now
+		if pnLost || timeLost {
+			sp.lost = true
+			s.settle(sp)
+			s.Stats.PacketsLost++
+			s.Stats.BytesLost += uint64(sp.Size)
+			lost = append(lost, sp)
+			continue
+		}
+		if threshold > 0 && s.lossTime == 0 {
+			s.lossTime = sp.SentTime + threshold
+		}
+	}
+	return lost
+}
+
+func (s *Space) timeThreshold() time.Duration {
+	srtt := s.est.SmoothedRTT()
+	if l := s.est.LatestRTT(); l > srtt {
+		srtt = l
+	}
+	if srtt == 0 {
+		return 0
+	}
+	return srtt * timeThresholdNum / timeThresholdDen
+}
+
+// LossTime returns the deadline at which OnLossTimer should run, or 0.
+func (s *Space) LossTime() time.Duration { return s.lossTime }
+
+// OnLossTimer re-runs time-threshold detection (the early-retransmit
+// timer fired). The caller applies a congestion event if reported.
+func (s *Space) OnLossTimer(now time.Duration) ([]*SentPacket, bool) {
+	lost := s.detectLost(now)
+	s.trim()
+	if len(lost) == 0 {
+		return nil, false
+	}
+	return lost, s.registerCongestion(lost)
+}
+
+// OnRTO declares every outstanding retransmittable packet lost — the
+// go-back behavior after a retransmission timeout — and backs off the
+// estimator. The caller must invoke the congestion controller's OnRTO.
+func (s *Space) OnRTO(now time.Duration) []*SentPacket {
+	var lost []*SentPacket
+	for _, sp := range s.packets {
+		if sp.acked || sp.lost {
+			continue
+		}
+		sp.lost = true
+		s.settle(sp)
+		s.Stats.PacketsLost++
+		s.Stats.BytesLost += uint64(sp.Size)
+		lost = append(lost, sp)
+	}
+	s.trim()
+	s.est.Backoff()
+	s.Stats.RTOCount++
+	return lost
+}
+
+// settle removes a packet from in-flight accounting.
+func (s *Space) settle(sp *SentPacket) {
+	s.bytesInFlight -= sp.Size
+	if sp.Retransmittable {
+		s.retransmittableInFlight--
+	}
+	delete(s.index, sp.PN)
+}
+
+// trim drops settled packets from the head of the history.
+func (s *Space) trim() {
+	i := 0
+	for i < len(s.packets) && (s.packets[i].acked || s.packets[i].lost) {
+		i++
+	}
+	if i > 0 {
+		s.packets = s.packets[i:]
+	}
+	// Compact interior garbage occasionally.
+	if len(s.packets) > 64 {
+		settled := 0
+		for _, sp := range s.packets {
+			if sp.acked || sp.lost {
+				settled++
+			}
+		}
+		if settled > len(s.packets)/2 {
+			kept := s.packets[:0]
+			for _, sp := range s.packets {
+				if !sp.acked && !sp.lost {
+					kept = append(kept, sp)
+				}
+			}
+			s.packets = kept
+		}
+	}
+}
+
+// OldestUnackedSentTime reports the send time of the oldest unsettled
+// packet; ok is false when nothing is outstanding. RTO timers anchored
+// here cannot be deferred by further transmissions on the same path.
+func (s *Space) OldestUnackedSentTime() (time.Duration, bool) {
+	for _, sp := range s.packets {
+		if !sp.acked && !sp.lost {
+			return sp.SentTime, true
+		}
+	}
+	return 0, false
+}
+
+// Outstanding returns the unsettled packets (oldest first).
+func (s *Space) Outstanding() []*SentPacket {
+	var out []*SentPacket
+	for _, sp := range s.packets {
+		if !sp.acked && !sp.lost {
+			out = append(out, sp)
+		}
+	}
+	return out
+}

@@ -1,0 +1,357 @@
+package recovery
+
+import (
+	"testing"
+	"time"
+
+	"mpquic/internal/rtt"
+	"mpquic/internal/wire"
+)
+
+func newSpace() *Space {
+	return NewSpace(rtt.New(rtt.DefaultQUIC()))
+}
+
+func sent(s *Space, size int, at time.Duration) *SentPacket {
+	sp := &SentPacket{
+		PN:              s.NextPacketNumber(),
+		Size:            size,
+		SentTime:        at,
+		Retransmittable: true,
+	}
+	s.OnPacketSent(sp)
+	return sp
+}
+
+func ackOf(pns ...wire.PacketNumber) *wire.AckFrame {
+	return &wire.AckFrame{Ranges: wire.BuildAckRanges(pns)}
+}
+
+func TestAckSettlesPacketsAndSamplesRTT(t *testing.T) {
+	s := newSpace()
+	sent(s, 1000, 0)
+	sent(s, 1000, time.Millisecond)
+	if s.BytesInFlight() != 2000 {
+		t.Fatalf("in flight %d", s.BytesInFlight())
+	}
+	res := s.OnAck(ackOf(0, 1), 51*time.Millisecond)
+	if len(res.NewlyAcked) != 2 || len(res.Lost) != 0 {
+		t.Fatalf("acked %d lost %d", len(res.NewlyAcked), len(res.Lost))
+	}
+	if !res.HasRTTSample || res.SampleRTT != 50*time.Millisecond {
+		t.Fatalf("rtt sample %v", res.SampleRTT)
+	}
+	if s.BytesInFlight() != 0 || s.HasRetransmittableInFlight() {
+		t.Fatal("in-flight not cleared")
+	}
+	if s.RTT().SmoothedRTT() != 50*time.Millisecond {
+		t.Fatalf("srtt %v", s.RTT().SmoothedRTT())
+	}
+}
+
+func TestDuplicateAckIsIdempotent(t *testing.T) {
+	s := newSpace()
+	sent(s, 1000, 0)
+	s.OnAck(ackOf(0), 10*time.Millisecond)
+	res := s.OnAck(ackOf(0), 20*time.Millisecond)
+	if len(res.NewlyAcked) != 0 || res.HasRTTSample {
+		t.Fatal("duplicate ack re-processed")
+	}
+}
+
+func TestPacketThresholdLoss(t *testing.T) {
+	s := newSpace()
+	for i := 0; i < 5; i++ {
+		sent(s, 1000, 0)
+	}
+	// Ack 3 and 4 at now=50ms: srtt sample 50ms → time threshold
+	// 56.25ms not yet reached, so only the packet threshold applies:
+	// packets 0 and 1 are ≥3 below largest; packet 2 survives.
+	res := s.OnAck(ackOf(3, 4), 50*time.Millisecond)
+	if len(res.Lost) != 2 {
+		t.Fatalf("lost %d, want 2", len(res.Lost))
+	}
+	if res.Lost[0].PN != 0 || res.Lost[1].PN != 1 {
+		t.Fatalf("lost %v,%v", res.Lost[0].PN, res.Lost[1].PN)
+	}
+	if !res.CongestionEvent {
+		t.Fatal("no congestion event")
+	}
+}
+
+func TestOneCongestionEventPerWindow(t *testing.T) {
+	s := newSpace()
+	for i := 0; i < 10; i++ {
+		sent(s, 1000, time.Duration(i)*time.Millisecond)
+	}
+	res1 := s.OnAck(ackOf(4), 20*time.Millisecond) // 0,1 lost
+	if !res1.CongestionEvent {
+		t.Fatal("first loss no event")
+	}
+	// Further losses among packets sent before the cutback: no event.
+	res2 := s.OnAck(ackOf(4, 6), 25*time.Millisecond) // 2,3 lost
+	if len(res2.Lost) == 0 {
+		t.Fatal("expected more losses")
+	}
+	if res2.CongestionEvent {
+		t.Fatal("second event within same window")
+	}
+}
+
+func TestTimeThresholdLossViaTimer(t *testing.T) {
+	s := newSpace()
+	sent(s, 1000, 0)                  // pn 0
+	sent(s, 1000, 1*time.Millisecond) // pn 1
+	// Ack only pn 1; pn 0 is 1 below largest → not past packet
+	// threshold, but the time threshold arms.
+	res := s.OnAck(ackOf(1), 41*time.Millisecond)
+	if len(res.Lost) != 0 {
+		t.Fatal("lost too early")
+	}
+	lt := s.LossTime()
+	if lt == 0 {
+		t.Fatal("loss timer not armed")
+	}
+	// srtt = 40ms → threshold 45ms; pn0 sent at 0 → deadline 45ms.
+	if lt != 45*time.Millisecond {
+		t.Fatalf("loss time %v, want 45ms", lt)
+	}
+	lost, event := s.OnLossTimer(lt)
+	if len(lost) != 1 || lost[0].PN != 0 || !event {
+		t.Fatalf("timer loss: %v event=%v", lost, event)
+	}
+}
+
+func TestRTODeclaresAllOutstandingLost(t *testing.T) {
+	s := newSpace()
+	for i := 0; i < 4; i++ {
+		sent(s, 1000, 0)
+	}
+	rtoBefore := s.RTT().RTO()
+	lost := s.OnRTO(500 * time.Millisecond)
+	if len(lost) != 4 {
+		t.Fatalf("lost %d", len(lost))
+	}
+	if s.BytesInFlight() != 0 {
+		t.Fatal("in-flight after RTO")
+	}
+	if s.RTT().RTO() != 2*rtoBefore {
+		t.Fatalf("no backoff: %v", s.RTT().RTO())
+	}
+	if s.Stats.RTOCount != 1 {
+		t.Fatal("stats")
+	}
+}
+
+func TestAckAfterLossIsNoop(t *testing.T) {
+	s := newSpace()
+	for i := 0; i < 5; i++ {
+		sent(s, 1000, 0)
+	}
+	res := s.OnAck(ackOf(4), 10*time.Millisecond) // 0,1 lost
+	if len(res.Lost) != 2 {
+		t.Fatalf("lost %d", len(res.Lost))
+	}
+	// Late ack for a lost packet: it's settled, no double accounting.
+	res2 := s.OnAck(ackOf(0, 4), 15*time.Millisecond)
+	if len(res2.NewlyAcked) != 0 {
+		t.Fatal("lost packet newly acked")
+	}
+}
+
+func TestOutstandingAndTrim(t *testing.T) {
+	s := newSpace()
+	for i := 0; i < 100; i++ {
+		sent(s, 100, time.Duration(i)*time.Millisecond)
+	}
+	s.OnAck(&wire.AckFrame{Ranges: []wire.AckRange{{Smallest: 0, Largest: 89}}}, 200*time.Millisecond)
+	out := s.Outstanding()
+	if len(out) != 10 || out[0].PN != 90 {
+		t.Fatalf("outstanding %d, first %v", len(out), out[0].PN)
+	}
+}
+
+func TestMonotonicPNEnforced(t *testing.T) {
+	s := newSpace()
+	sp := &SentPacket{PN: 5, Size: 1}
+	s.OnPacketSent(sp)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("non-monotonic PN accepted")
+		}
+	}()
+	s.OnPacketSent(&SentPacket{PN: 5, Size: 1})
+}
+
+func TestAckManagerImmediateAckEverySecondPacket(t *testing.T) {
+	a := NewAckManager(0)
+	if a.ShouldSendAck(0) {
+		t.Fatal("fresh manager wants ack")
+	}
+	a.OnPacketReceived(0, true, 0)
+	if a.ShouldSendAck(0) {
+		t.Fatal("ack after single packet")
+	}
+	if a.AckDeadline() != MaxAckDelay {
+		t.Fatalf("deadline %v", a.AckDeadline())
+	}
+	a.OnPacketReceived(1, true, time.Millisecond)
+	if !a.ShouldSendAck(time.Millisecond) {
+		t.Fatal("no ack after 2 packets")
+	}
+}
+
+func TestAckManagerDelayedAckDeadline(t *testing.T) {
+	a := NewAckManager(0)
+	a.OnPacketReceived(0, true, 10*time.Millisecond)
+	if a.ShouldSendAck(20 * time.Millisecond) {
+		t.Fatal("too early")
+	}
+	if !a.ShouldSendAck(10*time.Millisecond + MaxAckDelay) {
+		t.Fatal("delayed ack never fires")
+	}
+}
+
+func TestAckManagerOutOfOrderTriggersImmediateAck(t *testing.T) {
+	a := NewAckManager(0)
+	a.OnPacketReceived(5, true, 0)
+	if !a.ShouldSendAck(0) {
+		// First packet is pn 5 → largest==5, single range; but a gap
+		// from 0 is unknowable. Receiving 3 after 5 must trigger.
+		a.OnPacketReceived(3, true, time.Millisecond)
+		if !a.ShouldSendAck(time.Millisecond) {
+			t.Fatal("reordering did not trigger immediate ack")
+		}
+	}
+}
+
+func TestAckManagerBuildAckRangesAndDelay(t *testing.T) {
+	a := NewAckManager(3)
+	a.OnPacketReceived(0, true, 0)
+	a.OnPacketReceived(1, true, time.Millisecond)
+	a.OnPacketReceived(5, true, 2*time.Millisecond)
+	ack := a.BuildAck(7 * time.Millisecond)
+	if ack.PathID != 3 {
+		t.Fatalf("path %d", ack.PathID)
+	}
+	if len(ack.Ranges) != 2 || ack.Ranges[0] != (wire.AckRange{Smallest: 5, Largest: 5}) ||
+		ack.Ranges[1] != (wire.AckRange{Smallest: 0, Largest: 1}) {
+		t.Fatalf("ranges %+v", ack.Ranges)
+	}
+	if ack.AckDelay != 5*time.Millisecond {
+		t.Fatalf("delay %v", ack.AckDelay)
+	}
+	if err := ack.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Building resets policy state.
+	if a.ShouldSendAck(100 * time.Millisecond) {
+		t.Fatal("state not reset")
+	}
+}
+
+func TestAckManagerDuplicateDetection(t *testing.T) {
+	a := NewAckManager(0)
+	if !a.OnPacketReceived(7, true, 0) {
+		t.Fatal("first receive reported duplicate")
+	}
+	if a.OnPacketReceived(7, true, time.Millisecond) {
+		t.Fatal("duplicate not detected")
+	}
+	if !a.IsDuplicate(7) || a.IsDuplicate(8) {
+		t.Fatal("IsDuplicate broken")
+	}
+}
+
+func TestAckManagerCapsRangesAt256(t *testing.T) {
+	a := NewAckManager(0)
+	for i := 0; i < 600; i += 2 {
+		a.OnPacketReceived(wire.PacketNumber(i), true, 0)
+	}
+	ack := a.BuildAck(time.Millisecond)
+	if len(ack.Ranges) != wire.MaxAckRanges {
+		t.Fatalf("ranges %d", len(ack.Ranges))
+	}
+	if ack.LargestAcked() != 598 {
+		t.Fatalf("largest %d", ack.LargestAcked())
+	}
+	if err := ack.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAckManagerLargestReceived(t *testing.T) {
+	a := NewAckManager(0)
+	if _, ok := a.LargestReceived(); ok {
+		t.Fatal("fresh manager has largest")
+	}
+	a.OnPacketReceived(9, false, 0)
+	a.OnPacketReceived(4, false, 0)
+	if pn, ok := a.LargestReceived(); !ok || pn != 9 {
+		t.Fatalf("largest %d ok=%v", pn, ok)
+	}
+}
+
+func TestSpaceAccessors(t *testing.T) {
+	s := newSpace()
+	if s.LargestAcked() != wire.InvalidPacketNumber {
+		t.Fatal("fresh space has largest acked")
+	}
+	if s.LargestSent() != 0 {
+		t.Fatal("fresh space largest sent")
+	}
+	if _, ok := s.OldestUnackedSentTime(); ok {
+		t.Fatal("fresh space has outstanding")
+	}
+	sent(s, 100, 5*time.Millisecond)
+	sent(s, 100, 7*time.Millisecond)
+	if s.LargestSent() != 2 {
+		t.Fatalf("largest sent %d", s.LargestSent())
+	}
+	if ts, ok := s.OldestUnackedSentTime(); !ok || ts != 5*time.Millisecond {
+		t.Fatalf("oldest %v ok=%v", ts, ok)
+	}
+	s.OnAck(ackOf(0), 20*time.Millisecond)
+	if s.LargestAcked() != 0 {
+		t.Fatalf("largest acked %v", s.LargestAcked())
+	}
+	if ts, _ := s.OldestUnackedSentTime(); ts != 7*time.Millisecond {
+		t.Fatalf("oldest after ack %v", ts)
+	}
+}
+
+func TestForceAckAndHasACKable(t *testing.T) {
+	a := NewAckManager(0)
+	a.ForceAck() // nothing received yet: must stay quiet
+	if a.ShouldSendAck(0) {
+		t.Fatal("ForceAck with nothing received queued an ack")
+	}
+	if a.HasACKablePackets() {
+		t.Fatal("HasACKablePackets on empty manager")
+	}
+	a.OnPacketReceived(0, false, 0) // non-retransmittable: no ack owed
+	if a.ShouldSendAck(time.Hour) {
+		t.Fatal("non-retransmittable packet scheduled an ack")
+	}
+	a.ForceAck()
+	if !a.ShouldSendAck(0) || !a.HasACKablePackets() {
+		t.Fatal("ForceAck did not queue")
+	}
+}
+
+func TestTrimCompactsInteriorGarbage(t *testing.T) {
+	s := newSpace()
+	for i := 0; i < 200; i++ {
+		sent(s, 100, time.Duration(i)*time.Millisecond)
+	}
+	// Ack a large interior block: packets below it settle as lost via
+	// the packet threshold, packets above stay outstanding; interior
+	// compaction must bound the slice and keep accounting exact.
+	s.OnAck(&wire.AckFrame{Ranges: []wire.AckRange{{Smallest: 50, Largest: 180}}}, 300*time.Millisecond)
+	if got := len(s.Outstanding()); got != 19 {
+		t.Fatalf("outstanding %d, want 19 (packets 181..199)", got)
+	}
+	if s.BytesInFlight() != 1900 {
+		t.Fatalf("in flight %d", s.BytesInFlight())
+	}
+}

@@ -1,0 +1,70 @@
+package sim
+
+// Rand is a small, fast, deterministic PRNG (xorshift64* core with a
+// splitmix64 seeder). The standard library's math/rand would work, but a
+// self-contained generator guarantees the sequence never changes under
+// us across Go releases, which keeps recorded experiment outputs stable.
+type Rand struct {
+	state uint64
+}
+
+// NewRand returns a generator seeded from seed. Any seed (including 0)
+// is valid.
+func NewRand(seed uint64) *Rand {
+	r := &Rand{}
+	r.Seed(seed)
+	return r
+}
+
+// Seed resets the generator to the sequence identified by seed.
+func (r *Rand) Seed(seed uint64) {
+	// splitmix64 step so that nearby seeds give unrelated streams.
+	z := seed + 0x9e3779b97f4a7c15
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	z ^= z >> 31
+	if z == 0 {
+		z = 0x2545f4914f6cdd1d
+	}
+	r.state = z
+}
+
+// Uint64 returns the next 64 pseudo-random bits.
+func (r *Rand) Uint64() uint64 {
+	x := r.state
+	x ^= x >> 12
+	x ^= x << 25
+	x ^= x >> 27
+	r.state = x
+	return x * 0x2545f4914f6cdd1d
+}
+
+// Float64 returns a uniform value in [0,1).
+func (r *Rand) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform value in [0,n). It panics when n <= 0.
+func (r *Rand) Intn(n int) int {
+	if n <= 0 {
+		panic("sim: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Bernoulli reports true with probability p (clamped to [0,1]).
+func (r *Rand) Bernoulli(p float64) bool {
+	if p <= 0 {
+		return false
+	}
+	if p >= 1 {
+		return true
+	}
+	return r.Float64() < p
+}
+
+// Fork derives an independent child generator. Two Forks from the same
+// parent state are decorrelated from each other and from the parent.
+func (r *Rand) Fork() *Rand {
+	return NewRand(r.Uint64() ^ 0xd1b54a32d192ed03)
+}

@@ -1,0 +1,254 @@
+// Package sim implements a deterministic discrete-event simulation engine.
+//
+// The engine drives every protocol stack and network element in this
+// repository. Time is virtual: an event loop pops timestamped events from
+// a binary heap and advances the clock to each event's deadline. Nothing
+// ever sleeps, so a multi-second emulated transfer completes in
+// microseconds of wall time and every run with the same seed is
+// bit-for-bit reproducible.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+	"time"
+)
+
+// Time is a virtual timestamp, measured as a duration since the start of
+// the simulation. The zero Time is the simulation epoch.
+type Time time.Duration
+
+// Duration converts t to a time.Duration since the simulation epoch.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+// Seconds reports t as floating-point seconds since the epoch.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Add returns t shifted forward by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub returns the duration t-u.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Never is a sentinel deadline meaning "no deadline armed".
+const Never = Time(math.MaxInt64)
+
+// Event is a unit of scheduled work.
+type Event struct {
+	at   Time
+	seq  uint64 // tie-break: FIFO among events with equal deadlines
+	fn   func()
+	dead bool // cancelled
+	idx  int  // heap index, -1 when popped
+}
+
+// At reports the deadline of the event.
+func (e *Event) At() Time { return e.at }
+
+// Cancel prevents the event from running. Cancelling an already-executed
+// or already-cancelled event is a no-op.
+func (e *Event) Cancel() { e.dead = true }
+
+// Cancelled reports whether Cancel was called.
+func (e *Event) Cancelled() bool { return e.dead }
+
+type eventHeap []*Event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int) {
+	h[i], h[j] = h[j], h[i]
+	h[i].idx = i
+	h[j].idx = j
+}
+func (h *eventHeap) Push(x any) {
+	e := x.(*Event)
+	e.idx = len(*h)
+	*h = append(*h, e)
+}
+func (h *eventHeap) Pop() any {
+	old := *h
+	n := len(old)
+	e := old[n-1]
+	old[n-1] = nil
+	e.idx = -1
+	*h = old[:n-1]
+	return e
+}
+
+// Clock is the simulation event loop. It is not safe for concurrent use;
+// the whole simulation is single-threaded by design (determinism).
+type Clock struct {
+	now     Time
+	heap    eventHeap
+	seq     uint64
+	running bool
+	stopped bool
+	// Processed counts executed (non-cancelled) events, for tests and
+	// runaway detection.
+	Processed uint64
+	// Limit aborts Run with an error when more than Limit events execute.
+	// Zero means no limit.
+	Limit uint64
+}
+
+// NewClock returns a Clock at the simulation epoch.
+func NewClock() *Clock { return &Clock{} }
+
+// Now reports the current virtual time.
+func (c *Clock) Now() Time { return c.now }
+
+// At schedules fn to run at the absolute virtual time at. Scheduling in
+// the past (at < Now) is an error in the caller; the event is clamped to
+// run "now" to keep the loop monotonic.
+func (c *Clock) At(at Time, fn func()) *Event {
+	if at < c.now {
+		at = c.now
+	}
+	e := &Event{at: at, seq: c.seq, fn: fn}
+	c.seq++
+	heap.Push(&c.heap, e)
+	return e
+}
+
+// After schedules fn to run d after the current time.
+func (c *Clock) After(d time.Duration, fn func()) *Event {
+	if d < 0 {
+		d = 0
+	}
+	return c.At(c.now.Add(d), fn)
+}
+
+// Stop makes Run return after the currently executing event finishes.
+func (c *Clock) Stop() { c.stopped = true }
+
+// Pending reports the number of scheduled (possibly cancelled) events.
+func (c *Clock) Pending() int { return len(c.heap) }
+
+// NextDeadline reports the deadline of the earliest live event, or Never.
+func (c *Clock) NextDeadline() Time {
+	for len(c.heap) > 0 {
+		if c.heap[0].dead {
+			heap.Pop(&c.heap)
+			continue
+		}
+		return c.heap[0].at
+	}
+	return Never
+}
+
+// Run executes events in deadline order until the heap drains, Stop is
+// called, or the event limit is exceeded.
+func (c *Clock) Run() error {
+	if c.running {
+		return fmt.Errorf("sim: Run re-entered")
+	}
+	c.running = true
+	c.stopped = false
+	defer func() { c.running = false }()
+	for len(c.heap) > 0 && !c.stopped {
+		e := heap.Pop(&c.heap).(*Event)
+		if e.dead {
+			continue
+		}
+		if e.at < c.now {
+			return fmt.Errorf("sim: time went backwards: %v -> %v", c.now, e.at)
+		}
+		c.now = e.at
+		c.Processed++
+		if c.Limit > 0 && c.Processed > c.Limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", c.Limit, c.now)
+		}
+		e.fn()
+	}
+	return nil
+}
+
+// RunUntil executes events with deadlines <= deadline, then advances the
+// clock to exactly deadline. It returns any Run error.
+func (c *Clock) RunUntil(deadline Time) error {
+	if c.running {
+		return fmt.Errorf("sim: RunUntil re-entered")
+	}
+	c.running = true
+	c.stopped = false
+	defer func() { c.running = false }()
+	for len(c.heap) > 0 && !c.stopped {
+		if c.heap[0].dead {
+			heap.Pop(&c.heap)
+			continue
+		}
+		if c.heap[0].at > deadline {
+			break
+		}
+		e := heap.Pop(&c.heap).(*Event)
+		c.now = e.at
+		c.Processed++
+		if c.Limit > 0 && c.Processed > c.Limit {
+			return fmt.Errorf("sim: event limit %d exceeded at t=%v", c.Limit, c.now)
+		}
+		e.fn()
+	}
+	if c.now < deadline {
+		c.now = deadline
+	}
+	return nil
+}
+
+// Timer is a re-armable single-shot timer bound to a Clock, analogous to
+// time.Timer but virtual. The zero value is unusable; use NewTimer.
+type Timer struct {
+	clock *Clock
+	ev    *Event
+	fn    func()
+}
+
+// NewTimer returns an unarmed timer that runs fn when it fires.
+func NewTimer(c *Clock, fn func()) *Timer {
+	return &Timer{clock: c, fn: fn}
+}
+
+// Reset (re)arms the timer to fire at absolute time at, replacing any
+// previously armed deadline.
+func (t *Timer) Reset(at Time) {
+	t.Stop()
+	t.ev = t.clock.At(at, t.fire)
+}
+
+// ResetAfter (re)arms the timer to fire d from now.
+func (t *Timer) ResetAfter(d time.Duration) { t.Reset(t.clock.Now().Add(d)) }
+
+func (t *Timer) fire() {
+	t.ev = nil
+	t.fn()
+}
+
+// Stop disarms the timer. It reports whether a pending firing was
+// prevented.
+func (t *Timer) Stop() bool {
+	if t.ev == nil {
+		return false
+	}
+	t.ev.Cancel()
+	t.ev = nil
+	return true
+}
+
+// Armed reports whether the timer currently has a pending deadline.
+func (t *Timer) Armed() bool { return t.ev != nil }
+
+// Deadline reports the pending deadline, or Never when unarmed.
+func (t *Timer) Deadline() Time {
+	if t.ev == nil {
+		return Never
+	}
+	return t.ev.at
+}

@@ -1,0 +1,319 @@
+package sim
+
+import (
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestClockRunsEventsInOrder(t *testing.T) {
+	c := NewClock()
+	var got []int
+	c.After(30*time.Millisecond, func() { got = append(got, 3) })
+	c.After(10*time.Millisecond, func() { got = append(got, 1) })
+	c.After(20*time.Millisecond, func() { got = append(got, 2) })
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("wrong order: %v", got)
+	}
+	if c.Now() != Time(30*time.Millisecond) {
+		t.Fatalf("clock at %v, want 30ms", c.Now())
+	}
+}
+
+func TestClockFIFOAmongEqualDeadlines(t *testing.T) {
+	c := NewClock()
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		c.At(Time(time.Millisecond), func() { got = append(got, i) })
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("not FIFO at %d: %v", i, got)
+		}
+	}
+}
+
+func TestClockEventsScheduledDuringRun(t *testing.T) {
+	c := NewClock()
+	var fired []Time
+	c.After(time.Millisecond, func() {
+		c.After(time.Millisecond, func() { fired = append(fired, c.Now()) })
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 1 || fired[0] != Time(2*time.Millisecond) {
+		t.Fatalf("nested scheduling broken: %v", fired)
+	}
+}
+
+func TestCancelPreventsExecution(t *testing.T) {
+	c := NewClock()
+	ran := false
+	e := c.After(time.Millisecond, func() { ran = true })
+	e.Cancel()
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if ran {
+		t.Fatal("cancelled event executed")
+	}
+	if c.Processed != 0 {
+		t.Fatalf("Processed = %d, want 0", c.Processed)
+	}
+}
+
+func TestRunUntilAdvancesToDeadline(t *testing.T) {
+	c := NewClock()
+	var at Time
+	c.After(5*time.Millisecond, func() { at = c.Now() })
+	c.After(50*time.Millisecond, func() { t.Fatal("event past deadline ran") })
+	if err := c.RunUntil(Time(10 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if at != Time(5*time.Millisecond) {
+		t.Fatalf("event ran at %v", at)
+	}
+	if c.Now() != Time(10*time.Millisecond) {
+		t.Fatalf("clock at %v, want 10ms", c.Now())
+	}
+}
+
+func TestClockStop(t *testing.T) {
+	c := NewClock()
+	n := 0
+	for i := 1; i <= 5; i++ {
+		c.After(time.Duration(i)*time.Millisecond, func() {
+			n++
+			if n == 2 {
+				c.Stop()
+			}
+		})
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if n != 2 {
+		t.Fatalf("ran %d events after Stop, want 2", n)
+	}
+}
+
+func TestClockLimit(t *testing.T) {
+	c := NewClock()
+	c.Limit = 10
+	var loop func()
+	loop = func() { c.After(time.Millisecond, loop) }
+	loop()
+	if err := c.Run(); err == nil {
+		t.Fatal("expected event-limit error")
+	}
+}
+
+func TestSchedulingInPastClamps(t *testing.T) {
+	c := NewClock()
+	var second Time
+	c.After(10*time.Millisecond, func() {
+		c.At(Time(time.Millisecond), func() { second = c.Now() })
+	})
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if second != Time(10*time.Millisecond) {
+		t.Fatalf("past event ran at %v, want clamp to 10ms", second)
+	}
+}
+
+func TestTimerResetReplacesDeadline(t *testing.T) {
+	c := NewClock()
+	fires := 0
+	tm := NewTimer(c, func() { fires++ })
+	tm.ResetAfter(10 * time.Millisecond)
+	tm.ResetAfter(20 * time.Millisecond)
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatalf("timer fired %d times, want 1", fires)
+	}
+	if c.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("fired at %v, want 20ms", c.Now())
+	}
+}
+
+func TestTimerStop(t *testing.T) {
+	c := NewClock()
+	tm := NewTimer(c, func() { t.Fatal("stopped timer fired") })
+	tm.ResetAfter(time.Millisecond)
+	if !tm.Stop() {
+		t.Fatal("Stop reported no pending firing")
+	}
+	if tm.Stop() {
+		t.Fatal("second Stop reported pending firing")
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTimerDeadlineAndArmed(t *testing.T) {
+	c := NewClock()
+	tm := NewTimer(c, func() {})
+	if tm.Armed() || tm.Deadline() != Never {
+		t.Fatal("new timer should be unarmed")
+	}
+	tm.ResetAfter(7 * time.Millisecond)
+	if !tm.Armed() || tm.Deadline() != Time(7*time.Millisecond) {
+		t.Fatalf("armed=%v deadline=%v", tm.Armed(), tm.Deadline())
+	}
+	c.Run()
+	if tm.Armed() {
+		t.Fatal("timer still armed after firing")
+	}
+}
+
+func TestNextDeadlineSkipsCancelled(t *testing.T) {
+	c := NewClock()
+	e := c.After(time.Millisecond, func() {})
+	c.After(2*time.Millisecond, func() {})
+	e.Cancel()
+	if d := c.NextDeadline(); d != Time(2*time.Millisecond) {
+		t.Fatalf("NextDeadline = %v, want 2ms", d)
+	}
+}
+
+func TestRandDeterminism(t *testing.T) {
+	a, b := NewRand(42), NewRand(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same seed diverged")
+		}
+	}
+	cpy := NewRand(7)
+	d := NewRand(8)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if cpy.Uint64() == d.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("different seeds collided %d/100 times", same)
+	}
+}
+
+func TestRandFloat64Range(t *testing.T) {
+	r := NewRand(1)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of range: %v", f)
+		}
+	}
+}
+
+func TestRandBernoulliExtremes(t *testing.T) {
+	r := NewRand(3)
+	for i := 0; i < 100; i++ {
+		if r.Bernoulli(0) {
+			t.Fatal("Bernoulli(0) returned true")
+		}
+		if !r.Bernoulli(1) {
+			t.Fatal("Bernoulli(1) returned false")
+		}
+	}
+}
+
+func TestRandBernoulliRate(t *testing.T) {
+	r := NewRand(9)
+	hits := 0
+	const n = 200000
+	for i := 0; i < n; i++ {
+		if r.Bernoulli(0.025) {
+			hits++
+		}
+	}
+	rate := float64(hits) / n
+	if rate < 0.022 || rate > 0.028 {
+		t.Fatalf("Bernoulli(0.025) rate %v", rate)
+	}
+}
+
+// Property: Float64 is always in [0,1) for arbitrary seeds and draws.
+func TestRandFloat64Property(t *testing.T) {
+	f := func(seed uint64, n uint8) bool {
+		r := NewRand(seed)
+		for i := 0; i < int(n); i++ {
+			v := r.Float64()
+			if v < 0 || v >= 1 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: Intn(n) is always in [0,n).
+func TestRandIntnProperty(t *testing.T) {
+	f := func(seed uint64, n uint16) bool {
+		m := int(n%1000) + 1
+		r := NewRand(seed)
+		for i := 0; i < 50; i++ {
+			v := r.Intn(m)
+			if v < 0 || v >= m {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRandForkDecorrelated(t *testing.T) {
+	parent := NewRand(5)
+	a := parent.Fork()
+	b := parent.Fork()
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("forked streams collided %d/100 times", same)
+	}
+}
+
+func TestTimeHelpers(t *testing.T) {
+	tt := Time(1500 * time.Millisecond)
+	if tt.Seconds() != 1.5 {
+		t.Fatalf("Seconds = %v", tt.Seconds())
+	}
+	if tt.Add(500*time.Millisecond) != Time(2*time.Second) {
+		t.Fatal("Add broken")
+	}
+	if tt.Sub(Time(time.Second)) != 500*time.Millisecond {
+		t.Fatal("Sub broken")
+	}
+}
+
+func BenchmarkClockScheduleAndRun(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		c := NewClock()
+		for j := 0; j < 100; j++ {
+			c.After(time.Duration(j)*time.Microsecond, func() {})
+		}
+		c.Run()
+	}
+}

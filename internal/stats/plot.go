@@ -1,0 +1,156 @@
+package stats
+
+import (
+	"fmt"
+	"math"
+	"strings"
+)
+
+// AsciiCDF renders one or more empirical CDFs as a text plot, the
+// terminal rendition of the paper's Figs. 3/5/8/9. The x axis is
+// log-scaled between xMin and xMax (the paper plots time ratios on a
+// log axis from 10⁻¹ to 10¹); each series gets its own glyph.
+func AsciiCDF(series map[string][]float64, xMin, xMax float64, width, height int) string {
+	if width < 20 {
+		width = 60
+	}
+	if height < 5 {
+		height = 12
+	}
+	if xMin <= 0 {
+		xMin = 0.1
+	}
+	if xMax <= xMin {
+		xMax = xMin * 100
+	}
+	glyphs := []byte{'*', 'o', '+', 'x', '#'}
+	grid := make([][]byte, height)
+	for i := range grid {
+		grid[i] = []byte(strings.Repeat(" ", width))
+	}
+	logMin, logMax := math.Log10(xMin), math.Log10(xMax)
+	col := func(x float64) int {
+		if x < xMin {
+			x = xMin
+		}
+		if x > xMax {
+			x = xMax
+		}
+		c := int((math.Log10(x) - logMin) / (logMax - logMin) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	row := func(p float64) int {
+		r := height - 1 - int(p*float64(height-1))
+		if r < 0 {
+			r = 0
+		}
+		if r >= height {
+			r = height - 1
+		}
+		return r
+	}
+	names := sortedKeys(series)
+	for si, name := range names {
+		g := glyphs[si%len(glyphs)]
+		for _, pt := range CDF(series[name]) {
+			grid[row(pt.P)][col(pt.X)] = g
+		}
+	}
+	var b strings.Builder
+	for i, line := range grid {
+		p := 1 - float64(i)/float64(height-1)
+		fmt.Fprintf(&b, "%4.2f |%s|\n", p, string(line))
+	}
+	fmt.Fprintf(&b, "     +%s+\n", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "      %-*.2g%*.2g\n", width/2, xMin, width-width/2, xMax)
+	for si, name := range names {
+		fmt.Fprintf(&b, "      %c %s\n", glyphs[si%len(glyphs)], name)
+	}
+	return b.String()
+}
+
+// AsciiBox renders labeled five-number boxes on a shared linear axis —
+// the terminal rendition of the paper's Figs. 4/6/7/10.
+//
+//	label |----[==|==]-------|
+func AsciiBox(boxes map[string]Box, lo, hi float64, width int) string {
+	if width < 20 {
+		width = 50
+	}
+	if hi <= lo {
+		hi = lo + 1
+	}
+	col := func(x float64) int {
+		if x < lo {
+			x = lo
+		}
+		if x > hi {
+			x = hi
+		}
+		c := int((x - lo) / (hi - lo) * float64(width-1))
+		if c < 0 {
+			c = 0
+		}
+		if c >= width {
+			c = width - 1
+		}
+		return c
+	}
+	names := sortedKeysBox(boxes)
+	labelW := 0
+	for _, n := range names {
+		if len(n) > labelW {
+			labelW = len(n)
+		}
+	}
+	var b strings.Builder
+	for _, name := range names {
+		box := boxes[name]
+		line := []byte(strings.Repeat(" ", width))
+		for c := col(box.Min); c <= col(box.Max); c++ {
+			line[c] = '-'
+		}
+		for c := col(box.Q1); c <= col(box.Q3); c++ {
+			line[c] = '='
+		}
+		line[col(box.Min)] = '|'
+		line[col(box.Max)] = '|'
+		line[col(box.Median)] = 'M'
+		fmt.Fprintf(&b, "%-*s |%s|\n", labelW, name, string(line))
+	}
+	fmt.Fprintf(&b, "%-*s +%s+\n", labelW, "", strings.Repeat("-", width))
+	fmt.Fprintf(&b, "%-*s  %-*.2g%*.2g\n", labelW, "", width/2, lo, width-width/2, hi)
+	return b.String()
+}
+
+func sortedKeys(m map[string][]float64) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortedKeysBox(m map[string]Box) []string {
+	out := make([]string, 0, len(m))
+	for k := range m {
+		out = append(out, k)
+	}
+	sortStrings(out)
+	return out
+}
+
+func sortStrings(s []string) {
+	for i := 1; i < len(s); i++ {
+		for j := i; j > 0 && s[j] < s[j-1]; j-- {
+			s[j], s[j-1] = s[j-1], s[j]
+		}
+	}
+}

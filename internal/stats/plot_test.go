@@ -1,0 +1,58 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestAsciiCDFRendersSeries(t *testing.T) {
+	out := AsciiCDF(map[string][]float64{
+		"alpha": {0.5, 1, 2, 4},
+		"beta":  {1, 1, 1, 1},
+	}, 0.1, 10, 40, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "alpha") || !strings.Contains(out, "beta") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	lines := strings.Split(out, "\n")
+	if len(lines) < 10 {
+		t.Fatalf("too few lines: %d", len(lines))
+	}
+	// Y-axis labels run from 1.00 down to 0.00.
+	if !strings.HasPrefix(lines[0], "1.00") {
+		t.Fatalf("first row %q", lines[0])
+	}
+}
+
+func TestAsciiCDFDegenerateInputs(t *testing.T) {
+	// Must not panic on odd parameters or empty series.
+	_ = AsciiCDF(map[string][]float64{"x": {}}, -1, -2, 5, 2)
+	_ = AsciiCDF(nil, 0.1, 10, 60, 12)
+}
+
+func TestAsciiBoxRendersOrdered(t *testing.T) {
+	out := AsciiBox(map[string]Box{
+		"mptcp":  BoxOf([]float64{-0.5, 0, 0.2, 0.4, 0.9}),
+		"mpquic": BoxOf([]float64{0, 0.5, 0.8, 0.9, 1.0}),
+	}, -1, 1.5, 40)
+	if !strings.Contains(out, "M") || !strings.Contains(out, "=") {
+		t.Fatalf("missing box glyphs:\n%s", out)
+	}
+	// Alphabetical label order.
+	if strings.Index(out, "mpquic") > strings.Index(out, "mptcp") {
+		t.Fatalf("labels out of order:\n%s", out)
+	}
+}
+
+func TestAsciiBoxMedianInsideBox(t *testing.T) {
+	out := AsciiBox(map[string]Box{"b": BoxOf([]float64{1, 2, 3, 4, 5})}, 0, 6, 30)
+	line := strings.Split(out, "\n")[0]
+	iM := strings.Index(line, "M")
+	iEqFirst := strings.Index(line, "=")
+	iEqLast := strings.LastIndex(line, "=")
+	if iM < iEqFirst || iM > iEqLast {
+		t.Fatalf("median outside the box:\n%s", out)
+	}
+}

@@ -1,0 +1,113 @@
+package stream
+
+import (
+	"fmt"
+
+	"mpquic/internal/wire"
+)
+
+// RecvStream reassembles STREAM frames arriving out of order — possibly
+// over different paths — using the (offset, length) information that
+// makes multipath reordering trivial for QUIC (§3, Reliable Data
+// Transmission).
+type RecvStream struct {
+	id       wire.StreamID
+	received IntervalSet
+	// buf holds real-mode bytes, indexed by absolute offset. nil until
+	// real data arrives.
+	buf        []byte
+	readOffset uint64
+	finOffset  uint64
+	hasFin     bool
+}
+
+// NewRecvStream creates an empty receive stream.
+func NewRecvStream(id wire.StreamID) *RecvStream {
+	return &RecvStream{id: id}
+}
+
+// ID returns the stream ID.
+func (r *RecvStream) ID() wire.StreamID { return r.id }
+
+// OnFrame ingests one STREAM frame. It returns the number of
+// previously unseen bytes (for connection flow-control accounting) and
+// an error on inconsistent FIN offsets.
+func (r *RecvStream) OnFrame(f *wire.StreamFrame) (newBytes uint64, err error) {
+	end := f.Offset + uint64(f.Len())
+	if f.Fin {
+		if r.hasFin && r.finOffset != end {
+			return 0, fmt.Errorf("stream %d: conflicting FIN offsets %d and %d", r.id, r.finOffset, end)
+		}
+		r.hasFin = true
+		r.finOffset = end
+	}
+	if r.hasFin && end > r.finOffset {
+		return 0, fmt.Errorf("stream %d: data beyond FIN offset", r.id)
+	}
+	if f.Len() == 0 {
+		return 0, nil
+	}
+	before := r.received.Size()
+	r.received.Add(f.Offset, end)
+	newBytes = r.received.Size() - before
+	if f.Data != nil {
+		if uint64(len(r.buf)) < end {
+			grown := make([]byte, end)
+			copy(grown, r.buf)
+			r.buf = grown
+		}
+		copy(r.buf[f.Offset:end], f.Data)
+	}
+	return newBytes, nil
+}
+
+// Readable reports contiguous bytes available past the read offset.
+func (r *RecvStream) Readable() uint64 {
+	return r.received.FirstMissingFrom(r.readOffset) - r.readOffset
+}
+
+// Read consumes up to n contiguous bytes and returns how many were
+// consumed plus the real-mode bytes (nil in synthetic mode).
+func (r *RecvStream) Read(n uint64) (consumed uint64, data []byte) {
+	avail := r.Readable()
+	if n > avail {
+		n = avail
+	}
+	if n == 0 {
+		return 0, nil
+	}
+	if r.buf != nil && uint64(len(r.buf)) >= r.readOffset+n {
+		data = r.buf[r.readOffset : r.readOffset+n]
+	}
+	r.readOffset += n
+	return n, data
+}
+
+// ReadOffset returns the application's consumption frontier.
+func (r *RecvStream) ReadOffset() uint64 { return r.readOffset }
+
+// BytesReceived returns the total distinct bytes received so far.
+func (r *RecvStream) BytesReceived() uint64 { return r.received.Size() }
+
+// FinReceived reports whether a FIN has arrived (at any offset).
+func (r *RecvStream) FinReceived() bool { return r.hasFin }
+
+// FinOffset returns the stream length once FIN was seen.
+func (r *RecvStream) FinOffset() (uint64, bool) { return r.finOffset, r.hasFin }
+
+// Finished reports whether the application consumed the whole stream.
+func (r *RecvStream) Finished() bool {
+	return r.hasFin && r.readOffset == r.finOffset
+}
+
+// Complete reports whether all bytes up to FIN have *arrived*
+// (regardless of application consumption).
+func (r *RecvStream) Complete() bool {
+	if !r.hasFin {
+		return false
+	}
+	if r.finOffset == 0 {
+		return true
+	}
+	return r.received.Contains(0, r.finOffset)
+}

@@ -1,0 +1,195 @@
+package stream
+
+import (
+	"fmt"
+
+	"mpquic/internal/wire"
+)
+
+// SendStream produces STREAM frames for one stream, tracking the
+// retransmission queue as byte intervals so a lost frame's data can be
+// resent in any repacketization, over any path (§3: frames are
+// independent of the packets that carry them).
+type SendStream struct {
+	id wire.StreamID
+
+	// Real-mode payload. nil in synthetic mode.
+	data      []byte
+	synthetic bool
+
+	writeOffset uint64 // total bytes written by the application
+	nextSend    uint64 // frontier of never-sent data
+	fin         bool   // application finished writing
+
+	rtx      IntervalSet // lost ranges awaiting retransmission
+	acked    IntervalSet // ranges acknowledged
+	finSent  bool
+	finAcked bool
+	finLost  bool
+}
+
+// NewSendStream creates an empty send stream.
+func NewSendStream(id wire.StreamID) *SendStream {
+	return &SendStream{id: id}
+}
+
+// ID returns the stream ID.
+func (s *SendStream) ID() wire.StreamID { return s.id }
+
+// Write appends real payload bytes.
+func (s *SendStream) Write(p []byte) {
+	if s.fin {
+		panic("stream: Write after Close")
+	}
+	if s.synthetic {
+		panic("stream: mixing synthetic and real writes")
+	}
+	s.data = append(s.data, p...)
+	s.writeOffset += uint64(len(p))
+}
+
+// WriteSynthetic appends n logical bytes without materializing them.
+func (s *SendStream) WriteSynthetic(n uint64) {
+	if s.fin {
+		panic("stream: WriteSynthetic after Close")
+	}
+	if s.data != nil {
+		panic("stream: mixing synthetic and real writes")
+	}
+	s.synthetic = true
+	s.writeOffset += n
+}
+
+// Close marks the write side finished (FIN will be sent).
+func (s *SendStream) Close() { s.fin = true }
+
+// HasData reports whether the stream has anything to transmit right
+// now: retransmissions, unsent data, or an unsent/lost FIN.
+func (s *SendStream) HasData() bool {
+	if !s.rtx.Empty() {
+		return true
+	}
+	if s.nextSend < s.writeOffset {
+		return true
+	}
+	return s.fin && (!s.finSent || s.finLost)
+}
+
+// HasRetransmission reports whether lost data is queued.
+func (s *SendStream) HasRetransmission() bool { return !s.rtx.Empty() || s.finLost }
+
+// BytesOutstanding reports unacked stream bytes (sent but not acked).
+func (s *SendStream) BytesOutstanding() uint64 {
+	return s.nextSend - s.acked.Size() - s.rtx.Size()
+}
+
+// NextFrame builds the next STREAM frame. maxFrameSize bounds the
+// encoded frame size; newDataAllowance bounds how many *new* (never
+// sent) bytes may be included per flow control. Retransmitted bytes
+// consume no allowance — their credit was spent on first transmission.
+// It returns nil when nothing can be produced, plus the number of new
+// flow-controlled bytes consumed.
+func (s *SendStream) NextFrame(maxFrameSize int, newDataAllowance uint64) (*wire.StreamFrame, uint64) {
+	// Retransmissions first: they unblock the receiver's reassembly.
+	if !s.rtx.Empty() {
+		probe := &wire.StreamFrame{StreamID: s.id, Offset: s.rtx.Intervals()[0].Start}
+		maxLen := probe.MaxStreamDataLen(maxFrameSize)
+		if maxLen <= 0 {
+			return nil, 0
+		}
+		iv := s.rtx.Pop(uint64(maxLen))
+		f := s.frameFor(iv)
+		return f, 0
+	}
+	if s.nextSend < s.writeOffset && newDataAllowance > 0 {
+		probe := &wire.StreamFrame{StreamID: s.id, Offset: s.nextSend}
+		maxLen := uint64(probe.MaxStreamDataLen(maxFrameSize))
+		if maxLen == 0 {
+			return nil, 0
+		}
+		n := s.writeOffset - s.nextSend
+		if n > maxLen {
+			n = maxLen
+		}
+		if n > newDataAllowance {
+			n = newDataAllowance
+		}
+		iv := Interval{s.nextSend, s.nextSend + n}
+		s.nextSend = iv.End
+		f := s.frameFor(iv)
+		return f, n
+	}
+	// A bare FIN (all data sent, FIN pending or lost).
+	if s.fin && s.nextSend == s.writeOffset && (!s.finSent || s.finLost) {
+		s.finSent = true
+		s.finLost = false
+		return &wire.StreamFrame{StreamID: s.id, Offset: s.writeOffset, Fin: true}, 0
+	}
+	return nil, 0
+}
+
+func (s *SendStream) frameFor(iv Interval) *wire.StreamFrame {
+	f := &wire.StreamFrame{StreamID: s.id, Offset: iv.Start}
+	if s.synthetic {
+		f.DataLen = int(iv.Len())
+	} else {
+		f.Data = s.data[iv.Start:iv.End]
+	}
+	if s.fin && iv.End == s.writeOffset {
+		f.Fin = true
+		s.finSent = true
+		s.finLost = false
+	}
+	return f
+}
+
+// OnFrameAcked records delivery of a previously sent frame.
+func (s *SendStream) OnFrameAcked(offset uint64, n int, fin bool) {
+	s.acked.Add(offset, offset+uint64(n))
+	// Data that was queued for retransmission but acked via another
+	// copy (duplication, cross-path reinjection) needn't be resent.
+	s.rtx.Remove(offset, offset+uint64(n))
+	if fin {
+		s.finAcked = true
+		s.finLost = false
+	}
+}
+
+// OnFrameLost queues a lost frame's data for retransmission, skipping
+// ranges that were acknowledged through another copy.
+func (s *SendStream) OnFrameLost(offset uint64, n int, fin bool) {
+	start, end := offset, offset+uint64(n)
+	// Re-add only the still-unacked sub-ranges.
+	missing := IntervalSet{}
+	missing.Add(start, end)
+	for _, a := range s.acked.Intervals() {
+		missing.Remove(a.Start, a.End)
+	}
+	for _, iv := range missing.Intervals() {
+		s.rtx.Add(iv.Start, iv.End)
+	}
+	if fin && !s.finAcked {
+		s.finLost = true
+	}
+}
+
+// AllAcked reports whether every written byte and the FIN are acked.
+func (s *SendStream) AllAcked() bool {
+	if !s.fin || !s.finAcked {
+		return false
+	}
+	if s.writeOffset == 0 {
+		return true
+	}
+	return s.acked.Contains(0, s.writeOffset)
+}
+
+// WriteOffset returns the total bytes written.
+func (s *SendStream) WriteOffset() uint64 { return s.writeOffset }
+
+// UnsentBytes reports written bytes never transmitted yet.
+func (s *SendStream) UnsentBytes() uint64 { return s.writeOffset - s.nextSend }
+
+func (s *SendStream) String() string {
+	return fmt.Sprintf("sendStream(%d, written=%d, next=%d, rtx=%v)", s.id, s.writeOffset, s.nextSend, s.rtx)
+}

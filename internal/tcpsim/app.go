@@ -1,0 +1,69 @@
+package tcpsim
+
+import "time"
+
+// GetRequestSize models the size of the "GET <n>" request in bytes.
+const GetRequestSize = 100
+
+// GetResult mirrors apps.GetResult for the TCP baseline.
+type GetResult struct {
+	Size          uint64
+	Start         time.Duration
+	Finish        time.Duration
+	EstablishedAt time.Duration
+}
+
+// Elapsed is the client-perceived download time.
+func (r GetResult) Elapsed() time.Duration { return r.Finish - r.Start }
+
+// GoodputBps is application goodput in bits per second.
+func (r GetResult) GoodputBps() float64 {
+	el := r.Elapsed().Seconds()
+	if el <= 0 {
+		return 0
+	}
+	return float64(r.Size) * 8 / el
+}
+
+// ServeGet attaches a GET responder to a listener: when a connection's
+// incoming stream finishes (request received), the server writes size
+// response bytes and closes its side. The response size is provided by
+// the harness (the emulated request carries no literal text).
+func ServeGet(l *Listener, size uint64) {
+	l.OnConnection(func(c *Conn) {
+		served := false
+		c.OnData(func() {
+			if n := c.Readable(); n > 0 {
+				c.Read(n)
+			}
+			if c.Finished() && !served {
+				served = true
+				c.WriteSynthetic(size)
+				c.CloseWrite()
+			}
+		})
+	})
+}
+
+// GetOverTCP arms a client-side download: the request goes out as soon
+// as the secure handshake completes; onDone fires when the last
+// response byte is consumed.
+func GetOverTCP(c *Conn, size uint64, now func() time.Duration, onDone func(GetResult)) {
+	start := now()
+	done := false
+	c.OnEstablished(func() {
+		c.WriteSynthetic(GetRequestSize)
+		c.CloseWrite()
+	})
+	c.OnData(func() {
+		if n := c.Readable(); n > 0 {
+			c.Read(n)
+		}
+		if c.Finished() && !done {
+			done = true
+			if onDone != nil {
+				onDone(GetResult{Size: size, Start: start, Finish: now(), EstablishedAt: c.Stats.EstablishedAt})
+			}
+		}
+	})
+}

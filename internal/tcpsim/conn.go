@@ -1,0 +1,285 @@
+package tcpsim
+
+import (
+	"time"
+
+	"mpquic/internal/cc"
+	"mpquic/internal/netem"
+	"mpquic/internal/rtt"
+	"mpquic/internal/sim"
+	"mpquic/internal/stream"
+)
+
+// Config tunes a TCP connection.
+type Config struct {
+	// RecvWindow is the maximum receive window (§4.1: 16 MB).
+	RecvWindow uint64
+	// TLS enables the 2-RTT TLS 1.2 handshake after the 3-way
+	// handshake (the paper's https baseline).
+	TLS bool
+	// IdleTimeout aborts a silent connection. Zero disables.
+	IdleTimeout time.Duration
+}
+
+// DefaultConfig mirrors the paper's TCP setup.
+func DefaultConfig() Config {
+	return Config{RecvWindow: 16 << 20, TLS: true, IdleTimeout: 120 * time.Second}
+}
+
+// handshake states.
+type hsState int
+
+const (
+	hsIdle hsState = iota
+	hsSynSent
+	hsSynReceived
+	hsTLSClientHello // client sent flight 1, awaiting server flight 1
+	hsTLSServerDone  // server sent flight 1, awaiting client flight 2
+	hsTLSClientFin   // client sent flight 2, awaiting server flight 2
+	hsEstablished    // secure, app data may flow
+)
+
+// dupThresh is the FACK-style reordering threshold (the dup-ack
+// analog): a segment is lost once 3 later transmissions are acked.
+const dupThresh = 3
+
+// sendRecord tracks one transmitted segment for loss detection.
+type sendRecord struct {
+	txSeq    uint64 // transmission order
+	seqStart uint64
+	seqEnd   uint64
+	fin      bool
+	isRtx    bool
+	sentTime time.Duration
+	wireSize int
+	settled  bool
+}
+
+// Stats counts per-connection activity.
+type Stats struct {
+	SegmentsSent   uint64
+	SegmentsRcvd   uint64
+	BytesSent      uint64
+	Retransmits    uint64
+	RTOCount       uint64
+	FastRetransmit uint64
+	EstablishedAt  time.Duration
+}
+
+// Conn is one endpoint of an emulated TCP connection carrying a single
+// application byte stream in each direction.
+type Conn struct {
+	cfg      Config
+	clock    *sim.Clock
+	net      *netem.Network
+	local    netem.Addr
+	remote   netem.Addr
+	isClient bool
+
+	state    hsState
+	hsTimer  *sim.Timer
+	hsSentAt time.Duration // when the current handshake flight left
+	est      *rtt.Estimator
+	cc       cc.Controller
+	ccIsOwn  bool
+
+	// --- send side (byte stream, seq starts at 0 after handshake) ---
+	sndNxt        uint64
+	writeOffset   uint64 // bytes the app wrote
+	finQueued     bool
+	finSentSeq    uint64
+	finAcked      bool
+	records       []*sendRecord
+	liveRtx       int // live retransmission records (out of seq order)
+	nextTxSeq     uint64
+	highestAckTx  uint64 // highest txSeq acked/sacked (FACK)
+	hasAckTx      bool
+	bytesInFlight int
+	cumAcked      uint64 // peer's cumulative ack (sndUna)
+	sacked        stream.IntervalSet
+	rtxQueue      stream.IntervalSet
+	peerLimit     uint64 // cumAck+window high-water mark
+	lastRtxSent   time.Duration
+	lastProgress  time.Duration // last ack progress (restarts the RTO)
+	cutbackTx     uint64
+	hasCutback    bool
+	rtoTimer      *sim.Timer
+
+	// --- receive side ---
+	received     stream.IntervalSet
+	consumed     uint64
+	lastAdvWnd   uint64 // last advertised window (zero-window reopen)
+	finRecvSeq   uint64
+	finRecvd     bool
+	unackedSegs  int
+	ackQueued    bool
+	ackDeadline  time.Duration
+	lastRecvTime time.Duration
+
+	closed   bool
+	closeErr error
+
+	onEstablished func()
+	onData        func()
+	onClosed      func(error)
+
+	Stats Stats
+}
+
+func newTCPConn(nw *netem.Network, cfg Config, local, remote netem.Addr, isClient bool) *Conn {
+	c := &Conn{
+		cfg:      cfg,
+		clock:    nw.Clock(),
+		net:      nw,
+		local:    local,
+		remote:   remote,
+		isClient: isClient,
+		est:      rtt.New(rtt.DefaultTCP()),
+	}
+	cub := cc.NewCubic(MSS, c.now)
+	cub.SetMaxCwnd(int(cfg.RecvWindow))
+	c.cc = cub
+	c.hsTimer = sim.NewTimer(c.clock, c.onHandshakeTimeout)
+	c.rtoTimer = sim.NewTimer(c.clock, c.onRTO)
+	c.lastRecvTime = c.now()
+	return c
+}
+
+func (c *Conn) now() time.Duration { return c.clock.Now().Duration() }
+
+// DialTCP starts a client connection (SYN goes out immediately).
+func DialTCP(nw *netem.Network, cfg Config, local, remote netem.Addr) *Conn {
+	c := newTCPConn(nw, cfg, local, remote, true)
+	nw.Register(local, c)
+	c.state = hsSynSent
+	c.sendSegment(&Segment{SYN: true, Window: cfg.RecvWindow})
+	c.hsTimer.ResetAfter(c.est.RTO())
+	return c
+}
+
+// Listener accepts TCP connections on one address, demultiplexed by
+// peer address.
+type Listener struct {
+	nw     *netem.Network
+	cfg    Config
+	addr   netem.Addr
+	conns  map[netem.Addr]*Conn
+	onConn func(*Conn)
+}
+
+// ListenTCP registers a server.
+func ListenTCP(nw *netem.Network, cfg Config, addr netem.Addr) *Listener {
+	l := &Listener{nw: nw, cfg: cfg, addr: addr, conns: make(map[netem.Addr]*Conn)}
+	nw.Register(addr, l)
+	return l
+}
+
+// OnConnection registers the accept callback.
+func (l *Listener) OnConnection(fn func(*Conn)) { l.onConn = fn }
+
+// Conns returns accepted connections.
+func (l *Listener) Conns() []*Conn {
+	out := make([]*Conn, 0, len(l.conns))
+	for _, c := range l.conns {
+		out = append(out, c)
+	}
+	return out
+}
+
+// HandleDatagram implements netem.Handler for the listener.
+func (l *Listener) HandleDatagram(dg netem.Datagram) {
+	seg, ok := dg.Payload.(*Segment)
+	if !ok {
+		return
+	}
+	c, exists := l.conns[dg.From]
+	if !exists {
+		if !seg.SYN {
+			return // stray segment for a dead connection
+		}
+		c = newTCPConn(l.nw, l.cfg, l.addr, dg.From, false)
+		c.state = hsSynReceived
+		l.conns[dg.From] = c
+		if l.onConn != nil {
+			l.onConn(c)
+		}
+	}
+	c.HandleDatagram(dg)
+}
+
+// OnEstablished registers the secure-handshake-complete callback.
+func (c *Conn) OnEstablished(fn func()) {
+	c.onEstablished = fn
+	if c.state == hsEstablished {
+		fn()
+	}
+}
+
+// OnData registers the data-arrival callback.
+func (c *Conn) OnData(fn func()) { c.onData = fn }
+
+// OnClosed registers the close callback.
+func (c *Conn) OnClosed(fn func(error)) { c.onClosed = fn }
+
+// Established reports whether application data may flow.
+func (c *Conn) Established() bool { return c.state == hsEstablished }
+
+// Closed reports connection termination.
+func (c *Conn) Closed() bool { return c.closed }
+
+// Err returns the close reason, if any.
+func (c *Conn) Err() error { return c.closeErr }
+
+// RTT exposes the estimator (coarse, Karn-limited).
+func (c *Conn) RTT() *rtt.Estimator { return c.est }
+
+// --- application API ---
+
+// WriteSynthetic queues n stream bytes for transmission.
+func (c *Conn) WriteSynthetic(n uint64) {
+	c.writeOffset += n
+	c.trySend()
+}
+
+// CloseWrite queues the FIN after all written data.
+func (c *Conn) CloseWrite() {
+	c.finQueued = true
+	c.trySend()
+}
+
+// Readable reports in-order bytes available past the consumption point.
+func (c *Conn) Readable() uint64 {
+	return c.received.FirstMissingFrom(c.consumed) - c.consumed
+}
+
+// Read consumes up to n in-order bytes, opening the receive window.
+// Reopening a (near-)zero window immediately advertises it — without
+// this, a sender stalled on the window would deadlock (TCP solves the
+// same problem with window updates plus persist-timer probes).
+func (c *Conn) Read(n uint64) uint64 {
+	avail := c.Readable()
+	if n > avail {
+		n = avail
+	}
+	c.consumed += n
+	if n > 0 && c.state == hsEstablished && c.lastAdvWnd < MSS && c.advertisedWindow() >= MSS {
+		c.sendAck()
+	}
+	return n
+}
+
+// BytesReceived reports distinct received bytes.
+func (c *Conn) BytesReceived() uint64 { return c.received.Size() }
+
+// FinReceived reports whether the peer's FIN arrived (in order).
+func (c *Conn) FinReceived() bool {
+	return c.finRecvd && c.received.FirstMissingFrom(0) >= c.finRecvSeq
+}
+
+// Finished reports whether the app consumed the whole incoming stream.
+func (c *Conn) Finished() bool { return c.FinReceived() && c.consumed == c.finRecvSeq }
+
+// AllAcked reports whether everything written (and FIN) was acked.
+func (c *Conn) AllAcked() bool {
+	return c.finQueued && c.finAcked && c.cumAcked >= c.writeOffset
+}

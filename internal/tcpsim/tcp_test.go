@@ -1,0 +1,196 @@
+package tcpsim
+
+import (
+	"testing"
+	"time"
+
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+	"mpquic/internal/stream"
+)
+
+type tcpHarness struct {
+	clock  *sim.Clock
+	net    *netem.Network
+	lis    *Listener
+	client *Conn
+	fwd    *netem.Link
+	rev    *netem.Link
+}
+
+func newTCPHarness(t *testing.T, cfg Config, link netem.LinkConfig) *tcpHarness {
+	t.Helper()
+	clock := sim.NewClock()
+	clock.Limit = 20_000_000
+	nw := netem.New(clock, sim.NewRand(5))
+	h := &tcpHarness{clock: clock, net: nw}
+	h.fwd, h.rev = nw.Connect("c:1", "s:443", link)
+	h.lis = ListenTCP(nw, cfg, "s:443")
+	h.client = DialTCP(nw, cfg, "c:1", "s:443")
+	return h
+}
+
+func (h *tcpHarness) run(t *testing.T, until time.Duration) {
+	t.Helper()
+	if err := h.clock.RunUntil(sim.Time(until)); err != nil {
+		t.Fatalf("sim: %v", err)
+	}
+}
+
+func link10M(rtt time.Duration) netem.LinkConfig {
+	return netem.LinkConfig{RateMbps: 10, Delay: rtt / 2, QueueDelay: 100 * time.Millisecond}
+}
+
+func TestTCPHandshakeTakesThreeRTTsWithTLS(t *testing.T) {
+	h := newTCPHarness(t, DefaultConfig(), link10M(40*time.Millisecond))
+	var at time.Duration
+	h.client.OnEstablished(func() { at = h.clock.Now().Duration() })
+	h.run(t, 2*time.Second)
+	if !h.client.Established() {
+		t.Fatal("not established")
+	}
+	// 3 RTTs = 120 ms plus serialization of the small flights.
+	if at < 120*time.Millisecond || at > 140*time.Millisecond {
+		t.Fatalf("established at %v, want ~3 RTT (120ms)", at)
+	}
+}
+
+func TestTCPHandshakeOneRTTWithoutTLS(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.TLS = false
+	h := newTCPHarness(t, cfg, link10M(40*time.Millisecond))
+	var at time.Duration
+	h.client.OnEstablished(func() { at = h.clock.Now().Duration() })
+	h.run(t, 2*time.Second)
+	if at < 40*time.Millisecond || at > 50*time.Millisecond {
+		t.Fatalf("established at %v, want ~1 RTT", at)
+	}
+}
+
+func TestTCPTransferCompletesAndGoodput(t *testing.T) {
+	h := newTCPHarness(t, DefaultConfig(), link10M(30*time.Millisecond))
+	ServeGet(h.lis, 2<<20)
+	var res *GetResult
+	GetOverTCP(h.client, 2<<20, func() time.Duration { return h.clock.Now().Duration() },
+		func(r GetResult) { res = &r })
+	h.run(t, 60*time.Second)
+	if res == nil {
+		t.Fatal("download did not finish")
+	}
+	// 2 MiB at 10 Mbps ≈ 1.7 s floor.
+	if res.Elapsed() < 1600*time.Millisecond || res.Elapsed() > 6*time.Second {
+		t.Fatalf("download took %v", res.Elapsed())
+	}
+	gp := res.GoodputBps() / 1e6
+	if gp < 2.5 || gp > 10 {
+		t.Fatalf("goodput %.1f Mbps", gp)
+	}
+}
+
+func TestTCPSurvivesRandomLoss(t *testing.T) {
+	link := link10M(30 * time.Millisecond)
+	link.LossRate = 0.02
+	h := newTCPHarness(t, DefaultConfig(), link)
+	ServeGet(h.lis, 1<<20)
+	var res *GetResult
+	GetOverTCP(h.client, 1<<20, func() time.Duration { return h.clock.Now().Duration() },
+		func(r GetResult) { res = &r })
+	h.run(t, 300*time.Second)
+	if res == nil {
+		t.Fatal("download did not survive 2% loss")
+	}
+	if h.client.Stats.RTOCount == 0 && h.lis.Conns()[0].Stats.RTOCount == 0 &&
+		h.lis.Conns()[0].Stats.FastRetransmit == 0 {
+		t.Fatal("no recovery activity despite loss")
+	}
+}
+
+func TestTCPHandshakeSurvivesSYNLoss(t *testing.T) {
+	link := link10M(30 * time.Millisecond)
+	clock := sim.NewClock()
+	nw := netem.New(clock, sim.NewRand(5))
+	fwd, _ := nw.Connect("c:1", "s:443", link)
+	lis := ListenTCP(nw, DefaultConfig(), "s:443")
+	fwd.SetDown(true) // SYN will be lost
+	client := DialTCP(nw, DefaultConfig(), "c:1", "s:443")
+	clock.At(sim.Time(500*time.Millisecond), func() { fwd.SetDown(false) })
+	clock.RunUntil(sim.Time(10 * time.Second))
+	if !client.Established() {
+		t.Fatal("handshake did not recover from SYN loss")
+	}
+	_ = lis
+}
+
+func TestTCPReceiveWindowLimitsSender(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.RecvWindow = 64 << 10 // tiny window
+	// High-BDP link: 10 Mbps, 200 ms RTT → BDP 250 KB >> 64 KB window.
+	h := newTCPHarness(t, cfg, netem.LinkConfig{RateMbps: 10, Delay: 100 * time.Millisecond, QueueDelay: 500 * time.Millisecond})
+	ServeGet(h.lis, 1<<20)
+	var res *GetResult
+	GetOverTCP(h.client, 1<<20, func() time.Duration { return h.clock.Now().Duration() },
+		func(r GetResult) { res = &r })
+	h.run(t, 120*time.Second)
+	if res == nil {
+		t.Fatal("did not finish")
+	}
+	// Window-limited goodput ≈ rwnd/RTT = 64KB/200ms = 2.6 Mbps.
+	gp := res.GoodputBps() / 1e6
+	if gp > 3.5 {
+		t.Fatalf("goodput %.1f Mbps exceeds window limit", gp)
+	}
+}
+
+func TestTCPSACKLimitedToThreeBlocks(t *testing.T) {
+	intervals := []stream.Interval{{Start: 10, End: 20}, {Start: 30, End: 40},
+		{Start: 50, End: 60}, {Start: 70, End: 80}, {Start: 90, End: 100}}
+	blocks := buildSACK(intervals, 0)
+	if len(blocks) != MaxSACKBlocks {
+		t.Fatalf("got %d blocks, want %d", len(blocks), MaxSACKBlocks)
+	}
+	// Most recent (highest) first.
+	if blocks[0].Start != 90 || blocks[2].Start != 50 {
+		t.Fatalf("blocks %+v", blocks)
+	}
+}
+
+func TestTCPSegmentWireSize(t *testing.T) {
+	plain := &Segment{Len: MSS}
+	if plain.WireSize() != MSS+headerBase {
+		t.Fatalf("size %d", plain.WireSize())
+	}
+	withSACK := &Segment{Len: 0, SACK: []SACKBlock{{0, 1}, {2, 3}}}
+	if withSACK.WireSize() != headerBase+sackOptionOverhead+2*sackBlockSize {
+		t.Fatalf("size %d", withSACK.WireSize())
+	}
+	mp := &Segment{Len: 100, MP: true}
+	if mp.WireSize() != 100+headerBase+20 {
+		t.Fatalf("mp size %d", mp.WireSize())
+	}
+	// Full segment must fit the emulator MTU.
+	if full := (&Segment{Len: MSS, MP: true, SACK: []SACKBlock{{0, 1}, {2, 3}, {4, 5}}}).WireSize(); full > netem.MTU {
+		t.Fatalf("full segment %d exceeds MTU", full)
+	}
+}
+
+func TestTCPKarnNoSampleFromRetransmission(t *testing.T) {
+	link := link10M(30 * time.Millisecond)
+	link.LossRate = 0.10 // heavy loss to force retransmissions
+	h := newTCPHarness(t, DefaultConfig(), link)
+	ServeGet(h.lis, 256<<10)
+	var res *GetResult
+	GetOverTCP(h.client, 256<<10, func() time.Duration { return h.clock.Now().Duration() },
+		func(r GetResult) { res = &r })
+	h.run(t, 600*time.Second)
+	if res == nil {
+		t.Fatal("did not finish under heavy loss")
+	}
+	srv := h.lis.Conns()[0]
+	if srv.Stats.Retransmits == 0 {
+		t.Fatal("no retransmissions under 10% loss")
+	}
+	// Coarse granularity: srtt should be a whole millisecond multiple.
+	if srtt := srv.RTT().SmoothedRTT(); srtt == 0 {
+		t.Fatal("no RTT samples at all")
+	}
+}

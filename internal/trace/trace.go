@@ -1,0 +1,155 @@
+// Package trace provides structured event tracing for the protocol
+// stacks — the reproduction's equivalent of qlog. A Tracer receives
+// typed events (packets sent/received/acked/lost, congestion-window
+// updates, path lifecycle, handshake milestones) and writers render
+// them as human-readable text or newline-delimited JSON.
+//
+// Tracing is opt-in per connection (Config.Tracer); a nil tracer costs
+// one branch per event.
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"time"
+)
+
+// EventType classifies trace events.
+type EventType string
+
+// Event types emitted by the core engine.
+const (
+	PacketSent     EventType = "packet_sent"
+	PacketReceived EventType = "packet_received"
+	PacketAcked    EventType = "packet_acked"
+	PacketLost     EventType = "packet_lost"
+	CwndUpdated    EventType = "cwnd_updated"
+	RTOFired       EventType = "rto_fired"
+	PathOpened     EventType = "path_opened"
+	PathFailed     EventType = "path_potentially_failed"
+	PathRecovered  EventType = "path_recovered"
+	HandshakeDone  EventType = "handshake_done"
+	ConnClosed     EventType = "connection_closed"
+)
+
+// Event is one trace record. Fields irrelevant to a given type are
+// zero.
+type Event struct {
+	Time   time.Duration `json:"t"`
+	Type   EventType     `json:"ev"`
+	Path   uint8         `json:"path"`
+	PN     uint64        `json:"pn,omitempty"`
+	Size   int           `json:"size,omitempty"`
+	Cwnd   int           `json:"cwnd,omitempty"`
+	SRTT   time.Duration `json:"srtt,omitempty"`
+	Detail string        `json:"detail,omitempty"`
+}
+
+// Tracer consumes events.
+type Tracer interface {
+	Trace(ev Event)
+}
+
+// Nop discards all events.
+type Nop struct{}
+
+// Trace implements Tracer.
+func (Nop) Trace(Event) {}
+
+// Text renders events as aligned text lines.
+type Text struct {
+	W io.Writer
+}
+
+// NewText builds a text tracer.
+func NewText(w io.Writer) *Text { return &Text{W: w} }
+
+// Trace implements Tracer.
+func (t *Text) Trace(ev Event) {
+	fmt.Fprintf(t.W, "%12.6f  %-24s path=%d", ev.Time.Seconds(), ev.Type, ev.Path)
+	if ev.Type == PacketSent || ev.Type == PacketReceived || ev.Type == PacketAcked || ev.Type == PacketLost {
+		fmt.Fprintf(t.W, " pn=%d size=%d", ev.PN, ev.Size)
+	}
+	if ev.Cwnd > 0 {
+		fmt.Fprintf(t.W, " cwnd=%d", ev.Cwnd)
+	}
+	if ev.SRTT > 0 {
+		fmt.Fprintf(t.W, " srtt=%v", ev.SRTT)
+	}
+	if ev.Detail != "" {
+		fmt.Fprintf(t.W, " %s", ev.Detail)
+	}
+	fmt.Fprintln(t.W)
+}
+
+// JSON renders events as newline-delimited JSON (qlog-lite).
+type JSON struct {
+	W   io.Writer
+	enc *json.Encoder
+}
+
+// NewJSON builds a JSON tracer.
+func NewJSON(w io.Writer) *JSON {
+	return &JSON{W: w, enc: json.NewEncoder(w)}
+}
+
+// Trace implements Tracer.
+func (j *JSON) Trace(ev Event) { _ = j.enc.Encode(ev) }
+
+// Counter aggregates event counts — useful in tests and summaries.
+type Counter struct {
+	Counts map[EventType]int
+	ByPath map[uint8]map[EventType]int
+}
+
+// NewCounter builds an empty counter.
+func NewCounter() *Counter {
+	return &Counter{
+		Counts: make(map[EventType]int),
+		ByPath: make(map[uint8]map[EventType]int),
+	}
+}
+
+// Trace implements Tracer.
+func (c *Counter) Trace(ev Event) {
+	c.Counts[ev.Type]++
+	m := c.ByPath[ev.Path]
+	if m == nil {
+		m = make(map[EventType]int)
+		c.ByPath[ev.Path] = m
+	}
+	m[ev.Type]++
+}
+
+// Multi fans events out to several tracers.
+type Multi []Tracer
+
+// Trace implements Tracer.
+func (m Multi) Trace(ev Event) {
+	for _, t := range m {
+		t.Trace(ev)
+	}
+}
+
+// Filter passes only the listed event types to the inner tracer.
+type Filter struct {
+	Inner Tracer
+	Types map[EventType]bool
+}
+
+// NewFilter builds a filter.
+func NewFilter(inner Tracer, types ...EventType) *Filter {
+	m := make(map[EventType]bool, len(types))
+	for _, t := range types {
+		m[t] = true
+	}
+	return &Filter{Inner: inner, Types: m}
+}
+
+// Trace implements Tracer.
+func (f *Filter) Trace(ev Event) {
+	if f.Types[ev.Type] {
+		f.Inner.Trace(ev)
+	}
+}

@@ -1,0 +1,194 @@
+package wire
+
+import "fmt"
+
+// ConnectionID identifies a QUIC connection (8 bytes on the wire).
+type ConnectionID uint64
+
+// PathID identifies one path of a multipath connection. Path 0 is the
+// initial path. Client-created paths are odd, server-created paths are
+// even (§3, Path Management).
+type PathID uint8
+
+// PacketNumber is a per-path monotonically increasing packet number.
+type PacketNumber uint64
+
+// InvalidPacketNumber marks "no packet".
+const InvalidPacketNumber = PacketNumber(1<<62 - 1)
+
+// Header flag bits (public header, cleartext).
+const (
+	flagPNLenMask  = 0x03 // 0:1 byte, 1:2 bytes, 2:4 bytes
+	flagMultipath  = 0x04 // Path ID byte follows the connection ID
+	flagHandshake  = 0x08 // packet carries handshake (cleartext) frames
+	flagReservedOK = 0x0f
+)
+
+// Header is the MPQUIC public header. Everything in it travels in
+// cleartext; the Path ID is deliberately exposed so multipath-aware
+// middleboxes do not mistake per-path packet-number sequences for
+// reordering attacks (§3, Path Identification).
+type Header struct {
+	ConnID       ConnectionID
+	Multipath    bool
+	Handshake    bool
+	PathID       PathID
+	PacketNumber PacketNumber
+	// PNLen is the encoded packet-number length (1, 2 or 4). Zero means
+	// "choose automatically from LargestAcked when encoding".
+	PNLen int
+}
+
+// PNLenFor picks the smallest safe truncated encoding for pn given the
+// largest packet number the peer has acknowledged on the same path.
+func PNLenFor(pn, largestAcked PacketNumber) int {
+	var delta uint64
+	if largestAcked == InvalidPacketNumber {
+		delta = uint64(pn) + 1
+	} else {
+		delta = uint64(pn - largestAcked)
+	}
+	// The receiver can disambiguate within a window of 2^(8*len-1).
+	switch {
+	case delta < 1<<7:
+		return 1
+	case delta < 1<<15:
+		return 2
+	default:
+		return 4
+	}
+}
+
+// DecodePacketNumber expands a truncated packet number using the
+// largest packet number received so far on the path.
+func DecodePacketNumber(truncated uint64, pnLen int, largest PacketNumber) PacketNumber {
+	bits := uint(8 * pnLen)
+	win := uint64(1) << bits
+	hwin := win / 2
+	mask := win - 1
+	var expected uint64
+	if largest != InvalidPacketNumber {
+		expected = uint64(largest) + 1
+	}
+	candidate := (expected &^ mask) | truncated
+	if candidate+hwin <= expected && candidate+win < (1<<62) {
+		return PacketNumber(candidate + win)
+	}
+	if candidate > expected+hwin && candidate >= win {
+		return PacketNumber(candidate - win)
+	}
+	return PacketNumber(candidate)
+}
+
+// EncodedSize returns the exact on-wire size of the header, resolving
+// PNLen via largestAcked when it is zero.
+func (h *Header) EncodedSize(largestAcked PacketNumber) int {
+	n := 1 + 8 // flags + connection ID
+	if h.Multipath {
+		n++
+	}
+	pnLen := h.PNLen
+	if pnLen == 0 {
+		pnLen = PNLenFor(h.PacketNumber, largestAcked)
+	}
+	return n + pnLen
+}
+
+// Append encodes the header. largestAcked resolves automatic PN-length
+// selection.
+func (h *Header) Append(b []byte, largestAcked PacketNumber) []byte {
+	pnLen := h.PNLen
+	if pnLen == 0 {
+		pnLen = PNLenFor(h.PacketNumber, largestAcked)
+	}
+	var flags byte
+	switch pnLen {
+	case 1:
+		flags = 0
+	case 2:
+		flags = 1
+	case 4:
+		flags = 2
+	default:
+		panic(fmt.Sprintf("wire: bad packet number length %d", pnLen))
+	}
+	if h.Multipath {
+		flags |= flagMultipath
+	}
+	if h.Handshake {
+		flags |= flagHandshake
+	}
+	b = append(b, flags)
+	b = appendUint64(b, uint64(h.ConnID))
+	if h.Multipath {
+		b = append(b, byte(h.PathID))
+	}
+	switch pnLen {
+	case 1:
+		b = append(b, byte(h.PacketNumber))
+	case 2:
+		b = appendUint16(b, uint16(h.PacketNumber))
+	case 4:
+		b = appendUint32(b, uint32(h.PacketNumber))
+	}
+	return b
+}
+
+// ParseHeader decodes a header. largestReceived is the largest packet
+// number seen so far on the (connection, path) the packet claims,
+// needed to expand the truncated packet number; pass
+// InvalidPacketNumber for a fresh path.
+func ParseHeader(b []byte, largestReceived PacketNumber) (Header, int, error) {
+	if len(b) < 1 {
+		return Header{}, 0, ErrTruncated
+	}
+	flags := b[0]
+	if flags&^flagReservedOK != 0 {
+		return Header{}, 0, fmt.Errorf("wire: reserved header flag bits set: %#x", flags)
+	}
+	var h Header
+	h.Multipath = flags&flagMultipath != 0
+	h.Handshake = flags&flagHandshake != 0
+	off := 1
+	cid, n, err := consumeUint64(b[off:])
+	if err != nil {
+		return Header{}, 0, err
+	}
+	off += n
+	h.ConnID = ConnectionID(cid)
+	if h.Multipath {
+		if len(b) <= off {
+			return Header{}, 0, ErrTruncated
+		}
+		h.PathID = PathID(b[off])
+		off++
+	}
+	pnLen := 1 << (flags & flagPNLenMask)
+	if pnLen == 8 {
+		return Header{}, 0, fmt.Errorf("wire: invalid packet number length code 3")
+	}
+	var trunc uint64
+	switch pnLen {
+	case 1:
+		if len(b) <= off {
+			return Header{}, 0, ErrTruncated
+		}
+		trunc = uint64(b[off])
+	case 2:
+		v, _, err := consumeUint16(b[off:])
+		if err != nil {
+			return Header{}, 0, err
+		}
+		trunc = uint64(v)
+	case 4:
+		v, _, err := consumeUint32(b[off:])
+		if err != nil {
+			return Header{}, 0, err
+		}
+		trunc = uint64(v)
+	}
+	off += pnLen
+	h.PNLen = pnLen
+	h.PacketNumber = DecodePacketNumber(trunc, pnLen, largestReceived)
+	return h, off, nil
+}

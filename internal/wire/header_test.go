@@ -1,0 +1,105 @@
+package wire
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestHeaderRoundTripSinglePath(t *testing.T) {
+	h := Header{ConnID: 0xdeadbeefcafe, PacketNumber: 7}
+	b := h.Append(nil, InvalidPacketNumber)
+	got, n, err := ParseHeader(b, InvalidPacketNumber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != len(b) {
+		t.Fatalf("consumed %d of %d", n, len(b))
+	}
+	if got.ConnID != h.ConnID || got.PacketNumber != 7 || got.Multipath || got.Handshake {
+		t.Fatalf("got %+v", got)
+	}
+	if len(b) != h.EncodedSize(InvalidPacketNumber) {
+		t.Fatalf("EncodedSize %d != actual %d", h.EncodedSize(InvalidPacketNumber), len(b))
+	}
+}
+
+func TestHeaderRoundTripMultipath(t *testing.T) {
+	h := Header{ConnID: 1, Multipath: true, PathID: 3, PacketNumber: 1000}
+	b := h.Append(nil, InvalidPacketNumber)
+	got, _, err := ParseHeader(b, InvalidPacketNumber)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.Multipath || got.PathID != 3 || got.PacketNumber != 1000 {
+		t.Fatalf("got %+v", got)
+	}
+	// Multipath header is exactly one byte larger.
+	h2 := h
+	h2.Multipath = false
+	if h.EncodedSize(InvalidPacketNumber) != h2.EncodedSize(InvalidPacketNumber)+1 {
+		t.Fatal("Path ID must cost exactly one byte")
+	}
+}
+
+func TestHeaderHandshakeFlag(t *testing.T) {
+	h := Header{ConnID: 9, Handshake: true, PacketNumber: 1}
+	b := h.Append(nil, InvalidPacketNumber)
+	got, _, err := ParseHeader(b, InvalidPacketNumber)
+	if err != nil || !got.Handshake {
+		t.Fatalf("handshake flag lost: %+v err=%v", got, err)
+	}
+}
+
+func TestPNLenForGrowsWithDelta(t *testing.T) {
+	if PNLenFor(10, 9) != 1 {
+		t.Fatal("adjacent PN should fit one byte")
+	}
+	if PNLenFor(200, InvalidPacketNumber) != 2 {
+		t.Fatal("unacked PN 200 needs two bytes")
+	}
+	if PNLenFor(1<<20, 0) != 4 {
+		t.Fatal("large delta needs four bytes")
+	}
+}
+
+func TestDecodePacketNumberWindow(t *testing.T) {
+	// Classic QUIC example: largest received 0xa82f30ea, truncated
+	// 2-byte 0x9b32 decodes to 0xa82f9b32.
+	got := DecodePacketNumber(0x9b32, 2, 0xa82f30ea)
+	if got != 0xa82f9b32 {
+		t.Fatalf("got %#x, want 0xa82f9b32", uint64(got))
+	}
+}
+
+func TestHeaderPNTruncationRoundTripProperty(t *testing.T) {
+	f := func(largestRaw uint32, deltaRaw uint16) bool {
+		largest := PacketNumber(largestRaw)
+		pn := largest + PacketNumber(deltaRaw%512) + 1
+		h := Header{ConnID: 5, PacketNumber: pn}
+		// Sender encodes against the last acked PN; receiver decodes
+		// against the largest it received (here: pn-1 at worst).
+		b := h.Append(nil, largest)
+		got, _, err := ParseHeader(b, pn-1)
+		return err == nil && got.PacketNumber == pn
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParseHeaderErrors(t *testing.T) {
+	if _, _, err := ParseHeader(nil, InvalidPacketNumber); err == nil {
+		t.Fatal("empty header accepted")
+	}
+	if _, _, err := ParseHeader([]byte{0xf0, 0, 0, 0, 0, 0, 0, 0, 0, 1}, InvalidPacketNumber); err == nil {
+		t.Fatal("reserved flags accepted")
+	}
+	if _, _, err := ParseHeader([]byte{0x03, 0, 0, 0, 0, 0, 0, 0, 0, 1, 1, 1, 1, 1, 1, 1, 1}, InvalidPacketNumber); err == nil {
+		t.Fatal("PN length code 3 accepted")
+	}
+	h := Header{ConnID: 1, Multipath: true, PathID: 1, PacketNumber: 3}
+	b := h.Append(nil, InvalidPacketNumber)
+	if _, _, err := ParseHeader(b[:len(b)-2], InvalidPacketNumber); err == nil {
+		t.Fatal("truncated multipath header accepted")
+	}
+}

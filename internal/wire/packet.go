@@ -1,0 +1,136 @@
+package wire
+
+import "fmt"
+
+// Overhead constants for byte accounting. The emulator charges each
+// datagram the transport framing a real deployment would pay.
+const (
+	// UDPIPv4Overhead is the IPv4 (20) + UDP (8) framing in bytes.
+	UDPIPv4Overhead = 28
+	// AEADOverhead is the authentication tag appended to the protected
+	// payload of every non-handshake packet (AES-128-GCM).
+	AEADOverhead = 16
+	// MaxPacketSize is the largest QUIC packet (header + payload +
+	// tag) this implementation emits, chosen so the full datagram fits
+	// the emulator MTU with IPv4/UDP framing.
+	MaxPacketSize = 1350
+)
+
+// Packet is one QUIC packet: a public header plus frames. It implements
+// netem.Payload so packets can traverse the emulator in struct mode;
+// EncodedSize matches Encode's output exactly, byte for byte.
+type Packet struct {
+	Header Header
+	Frames []Frame
+	// LargestAcked feeds packet-number truncation on encode: the
+	// largest packet number the peer acknowledged on this path when
+	// the packet was built.
+	LargestAcked PacketNumber
+}
+
+// WireSize implements the emulator payload interface: the full packet
+// size including the AEAD tag on protected packets.
+func (p *Packet) WireSize() int { return p.EncodedSize() }
+
+// EncodedSize is the exact serialized size of the packet, including the
+// AEAD expansion for protected (non-handshake) packets.
+func (p *Packet) EncodedSize() int {
+	n := p.Header.EncodedSize(p.LargestAcked)
+	for _, f := range p.Frames {
+		n += f.EncodedSize()
+	}
+	if !p.Header.Handshake {
+		n += AEADOverhead
+	}
+	return n
+}
+
+// PayloadSize is the summed encoded size of the frames.
+func (p *Packet) PayloadSize() int {
+	n := 0
+	for _, f := range p.Frames {
+		n += f.EncodedSize()
+	}
+	return n
+}
+
+// IsRetransmittable reports whether any frame needs loss recovery.
+func (p *Packet) IsRetransmittable() bool {
+	for _, f := range p.Frames {
+		if f.Retransmittable() {
+			return true
+		}
+	}
+	return false
+}
+
+// Sealer protects a packet payload (AEAD seal/open). The wire package
+// defines the interface; internal/crypto provides the implementation.
+type Sealer interface {
+	// Seal encrypts plaintext bound to (path, pn, header) and returns
+	// ciphertext (plaintext length + AEADOverhead).
+	Seal(path PathID, pn PacketNumber, header, plaintext []byte) []byte
+	// Open reverses Seal, failing on any forgery.
+	Open(path PathID, pn PacketNumber, header, ciphertext []byte) ([]byte, error)
+}
+
+// Encode serializes the packet. A nil sealer leaves the payload in
+// cleartext but still appends AEADOverhead filler bytes on protected
+// packets so sizes stay identical in both modes.
+func (p *Packet) Encode(sealer Sealer) []byte {
+	buf := make([]byte, 0, p.EncodedSize())
+	buf = p.Header.Append(buf, p.LargestAcked)
+	hdrLen := len(buf)
+	for _, f := range p.Frames {
+		buf = f.Append(buf)
+	}
+	if p.Header.Handshake {
+		return buf
+	}
+	if sealer == nil {
+		for i := 0; i < AEADOverhead; i++ {
+			buf = append(buf, 0x5A)
+		}
+		return buf
+	}
+	sealed := sealer.Seal(p.Header.PathID, p.Header.PacketNumber, buf[:hdrLen], buf[hdrLen:])
+	return append(buf[:hdrLen], sealed...)
+}
+
+// Decode parses a serialized packet. largestReceived expands the
+// truncated packet number (pass InvalidPacketNumber on fresh paths). A
+// nil sealer expects the cleartext-with-filler format Encode(nil)
+// produces.
+func Decode(b []byte, largestReceived PacketNumber, sealer Sealer) (*Packet, error) {
+	hdr, hdrLen, err := ParseHeader(b, largestReceived)
+	if err != nil {
+		return nil, err
+	}
+	p := &Packet{Header: hdr}
+	payload := b[hdrLen:]
+	if !hdr.Handshake {
+		if sealer != nil {
+			payload, err = sealer.Open(hdr.PathID, hdr.PacketNumber, b[:hdrLen], payload)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			if len(payload) < AEADOverhead {
+				return nil, ErrTruncated
+			}
+			payload = payload[:len(payload)-AEADOverhead]
+		}
+	}
+	for len(payload) > 0 {
+		f, n, err := ParseFrame(payload)
+		if err != nil {
+			return nil, err
+		}
+		if n == 0 {
+			return nil, fmt.Errorf("wire: zero-length frame parse")
+		}
+		p.Frames = append(p.Frames, f)
+		payload = payload[n:]
+	}
+	return p, nil
+}

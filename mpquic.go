@@ -1,0 +1,196 @@
+// Package mpquic is a from-scratch reproduction of "Multipath QUIC:
+// Design and Evaluation" (De Coninck & Bonaventure, CoNEXT 2017).
+//
+// It bundles, behind one import path:
+//
+//   - a Multipath QUIC engine (per-path packet-number spaces, Path IDs
+//     in the public header, ADD_ADDRESS/PATHS frames, lowest-RTT
+//     scheduling with duplication on fresh paths, OLIA coupled
+//     congestion control) — and plain QUIC as its single-path
+//     configuration;
+//   - TCP/TLS and Multipath TCP baseline models;
+//   - a deterministic discrete-event network emulator standing in for
+//     the paper's Mininet testbed;
+//   - the paper's complete experimental-design harness (WSP scenario
+//     selection over the Table 1 ranges, time-ratio CDFs, experimental
+//     aggregation benefit, the §4.3 handover scenario).
+//
+// The package is a thin facade: it re-exports the building blocks from
+// the internal packages so applications (see examples/) can drive
+// everything through a single import.
+//
+// # Quick start
+//
+//	net := mpquic.NewTwoPathNetwork(mpquic.TwoPathConfig{
+//		Path0: mpquic.PathSpec{CapacityMbps: 10, RTT: 30 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
+//		Path1: mpquic.PathSpec{CapacityMbps: 5, RTT: 60 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
+//	})
+//	server := mpquic.Listen(net, mpquic.DefaultConfig())
+//	mpquic.ServeGet(server)
+//	client := mpquic.Dial(net, mpquic.DefaultConfig(), 1)
+//	res := mpquic.Download(net, client, 20<<20) // runs the virtual clock
+//	fmt.Println(res.Elapsed(), res.GoodputBps())
+package mpquic
+
+import (
+	"time"
+
+	"mpquic/internal/apps"
+	"mpquic/internal/core"
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+)
+
+// Re-exported core types. See the internal packages for full
+// documentation of each.
+type (
+	// Config tunes a (Multipath) QUIC endpoint.
+	Config = core.Config
+	// Conn is a (Multipath) QUIC connection endpoint.
+	Conn = core.Conn
+	// Stream is an application stream handle.
+	Stream = core.Stream
+	// Listener accepts connections.
+	Listener = core.Listener
+	// Path is one path of a multipath connection.
+	Path = core.Path
+	// PathSpec describes one emulated path (capacity, RTT, queueing,
+	// random loss) — the Table 1 factors.
+	PathSpec = netem.PathSpec
+	// GetResult reports a finished download.
+	GetResult = apps.GetResult
+)
+
+// DefaultConfig returns the paper's MPQUIC configuration (lowest-RTT
+// scheduler with duplication, OLIA, 16 MB windows).
+func DefaultConfig() Config { return core.DefaultConfig() }
+
+// SinglePathConfig returns the plain-QUIC baseline configuration.
+func SinglePathConfig() Config { return core.DefaultSinglePathConfig() }
+
+// Scheduler kinds (ablations of §3's design choices, plus the BLEST
+// extension).
+const (
+	SchedLowestRTT      = core.SchedLowestRTT
+	SchedLowestRTTNoDup = core.SchedLowestRTTNoDup
+	SchedRoundRobin     = core.SchedRoundRobin
+	SchedBLEST          = core.SchedBLEST
+)
+
+// Congestion controller kinds.
+const (
+	CCCubic = core.CCCubic
+	CCOlia  = core.CCOlia
+	CCReno  = core.CCReno
+	CCLia   = core.CCLia
+)
+
+// TwoPathConfig describes the Fig. 2 topology: a dual-homed client and
+// server joined by two disjoint paths.
+type TwoPathConfig struct {
+	Path0, Path1 PathSpec
+	// Seed drives every random process (loss draws). Runs with equal
+	// seeds are bit-for-bit reproducible.
+	Seed uint64
+}
+
+// Network is an emulated two-path network plus its virtual clock.
+type Network struct {
+	clock *sim.Clock
+	tp    *netem.TwoPathNet
+}
+
+// NewTwoPathNetwork builds the emulated Fig. 2 topology.
+func NewTwoPathNetwork(cfg TwoPathConfig) *Network {
+	clock := sim.NewClock()
+	clock.Limit = 500_000_000
+	tp := netem.NewTwoPath(clock, sim.NewRand(cfg.Seed), [2]netem.PathSpec{cfg.Path0, cfg.Path1})
+	return &Network{clock: clock, tp: tp}
+}
+
+// Now reports the current virtual time.
+func (n *Network) Now() time.Duration { return n.clock.Now().Duration() }
+
+// RunFor advances the virtual clock by d, executing all due events.
+func (n *Network) RunFor(d time.Duration) error {
+	return n.clock.RunUntil(n.clock.Now().Add(d))
+}
+
+// RunUntilIdle drains every scheduled event (the simulation ends when
+// no timer or packet remains).
+func (n *Network) RunUntilIdle() error { return n.clock.Run() }
+
+// At schedules fn at an absolute virtual time (e.g. to kill a path
+// mid-run for a handover experiment).
+func (n *Network) At(t time.Duration, fn func()) { n.clock.At(sim.Time(t), fn) }
+
+// KillPath makes path i drop every packet from now on.
+func (n *Network) KillPath(i int) { n.tp.KillPath(i) }
+
+// SetPathLoss sets path i's random loss rate.
+func (n *Network) SetPathLoss(i int, p float64) { n.tp.SetPathLoss(i, p) }
+
+// ClientAddr and ServerAddr expose the endpoint addresses of path i.
+func (n *Network) ClientAddr(i int) string { return string(n.tp.ClientAddrs[i]) }
+
+// ServerAddr returns the server-side address of path i.
+func (n *Network) ServerAddr(i int) string { return string(n.tp.ServerAddrs[i]) }
+
+// Listen starts a (MP)QUIC server on both server addresses.
+func Listen(n *Network, cfg Config) *Listener {
+	addrs := n.tp.ServerAddrs[:]
+	if !cfg.Multipath {
+		addrs = addrs[:1]
+	}
+	return core.Listen(n.tp.Net, cfg, addrs)
+}
+
+// Dial opens a client connection over the network. Multipath configs
+// get both address pairs; single-path configs only the first.
+func Dial(n *Network, cfg Config, connID uint64) *Conn {
+	locals, remotes := n.tp.ClientAddrs[:], n.tp.ServerAddrs[:]
+	if !cfg.Multipath {
+		locals, remotes = locals[:1], remotes[:1]
+	}
+	return core.Dial(n.tp.Net, cfg, core.NewConnID(connID), locals, remotes)
+}
+
+// DialPartial opens a multipath client that initially knows only the
+// server's first address; further paths open when the server
+// advertises addresses via ADD_ADDRESS (the dual-stack use case).
+func DialPartial(n *Network, cfg Config, connID uint64) *Conn {
+	return core.Dial(n.tp.Net, cfg, core.NewConnID(connID), n.tp.ClientAddrs[:], n.tp.ServerAddrs[:1])
+}
+
+// ServeGet attaches the paper's GET file server to a listener.
+func ServeGet(l *Listener) { apps.NewGetServer(l) }
+
+// ServeEcho attaches the §4.3 request/response responder.
+func ServeEcho(l *Listener) { apps.NewEchoServer(l) }
+
+// Download runs a blocking GET of size bytes on the client connection:
+// it arms the transfer, drives the virtual clock until completion (or
+// the timeout), and returns the result. A nil result means the
+// transfer did not finish in time.
+func Download(n *Network, client *Conn, size uint64) *GetResult {
+	var out *GetResult
+	now := func() time.Duration { return n.clock.Now().Duration() }
+	apps.NewGetClient(client, size, now, func(r apps.GetResult) {
+		out = &r
+		n.clock.Stop()
+	})
+	n.clock.RunUntil(sim.Time(24 * time.Hour))
+	return out
+}
+
+// ReqRespClient drives the §4.3 request train; see apps.ReqRespClient.
+type ReqRespClient = apps.ReqRespClient
+
+// ReqRespSample is one request/response delay measurement.
+type ReqRespSample = apps.ReqRespSample
+
+// StartRequestTrain fires a 750-byte request every 400 ms for total,
+// recording per-request response delays (Fig. 11's series).
+func StartRequestTrain(n *Network, client *Conn, total time.Duration) *ReqRespClient {
+	return apps.NewReqRespClient(client, n.clock, total)
+}
