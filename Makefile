@@ -1,0 +1,15 @@
+# Convenience targets; see scripts/check.sh for the pre-commit gate.
+
+.PHONY: build test bench check
+
+build:
+	go build ./...
+
+test:
+	go test ./...
+
+bench:
+	go test -bench=. -benchmem
+
+check:
+	sh scripts/check.sh

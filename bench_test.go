@@ -37,12 +37,16 @@ func benchGrid(b *testing.B, class expdesign.Class, size uint64) expdesign.Figur
 	b.Helper()
 	var fd expdesign.FigureData
 	for i := 0; i < b.N; i++ {
-		fd = expdesign.RunGrid(expdesign.GridConfig{
+		var err error
+		fd, err = expdesign.RunGrid(expdesign.GridConfig{
 			Class:     class,
 			Scenarios: benchScenarios(),
 			Size:      size,
 			Reps:      1,
 		})
+		if err != nil {
+			b.Fatal(err)
+		}
 	}
 	return fd
 }

@@ -7,23 +7,50 @@
 // for the paper's 253 scenarios × 3 repetitions per class (hours of
 // CPU time on a small machine).
 //
+// With -artifacts the grids become interruptible batch jobs: every
+// completed scenario is appended to a per-grid JSONL file, and a
+// re-run skips scenarios already on disk. -shard i/N runs only the
+// i-th of N deterministic grid slices (each writing its own shard
+// file), so one grid can be split across processes or machines;
+// -from-artifacts renders the reports from the persisted (possibly
+// merged) shard files without running anything.
+//
 // Usage:
 //
-//	mpq-bench                  # every experiment, subsampled
-//	mpq-bench -exp fig3        # one experiment
-//	mpq-bench -full -exp fig4  # paper-scale grid for one figure
-//	mpq-bench -cdf -exp fig5   # also dump raw CDF series for plotting
+//	mpq-bench                            # every experiment, subsampled
+//	mpq-bench -exp fig3                  # one experiment
+//	mpq-bench -full -exp fig4            # paper-scale grid for one figure
+//	mpq-bench -cdf -exp fig5             # also dump raw CDF series for plotting
+//	mpq-bench -full -artifacts out       # checkpointed: ^C and re-run to resume
+//	mpq-bench -full -artifacts out -shard 1/4   # second quarter of each grid
+//	mpq-bench -artifacts out -from-artifacts    # reports from persisted shards
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 	"strings"
 	"time"
 
 	"mpquic/internal/expdesign"
 )
+
+// parseShard parses "i/N" into (i, N); "" means the whole grid.
+func parseShard(s string) (int, int, error) {
+	if s == "" {
+		return 0, 1, nil
+	}
+	var i, n int
+	if _, err := fmt.Sscanf(s, "%d/%d", &i, &n); err != nil {
+		return 0, 0, fmt.Errorf("bad -shard %q: want i/N, e.g. 0/4", s)
+	}
+	if n < 1 || i < 0 || i >= n {
+		return 0, 0, fmt.Errorf("bad -shard %q: need 0 <= i < N", s)
+	}
+	return i, n, nil
+}
 
 func main() {
 	var (
@@ -33,33 +60,105 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
 		full      = flag.Bool("full", false, "paper-scale: 253 scenarios, 3 repetitions")
 		dumpCDF   = flag.Bool("cdf", false, "dump raw CDF series for the ratio figures")
-		progress  = flag.Bool("progress", true, "print progress to stderr")
+		progress  = flag.Bool("progress", true, "print progress with ETA to stderr")
+		artifacts = flag.String("artifacts", "", "directory for grid JSONL artifacts (enables checkpoint/resume)")
+		shard     = flag.String("shard", "", "run only shard i of N of each grid, as i/N (e.g. 0/4)")
+		fromArt   = flag.Bool("from-artifacts", false, "render reports from persisted artifacts instead of running (requires -artifacts)")
 	)
 	flag.Parse()
 	if *full {
 		*scenarios = expdesign.PaperScenarioCount
 		*reps = expdesign.Repetitions
 	}
+	shardIdx, numShards, err := parseShard(*shard)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *fromArt && *artifacts == "" {
+		fmt.Fprintln(os.Stderr, "-from-artifacts requires -artifacts")
+		os.Exit(2)
+	}
+	if *artifacts != "" && !*fromArt {
+		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
 
 	run := func(name string) bool { return *exp == "all" || *exp == name }
-	prog := func(done, total int) {
+
+	// loadGrid merges every persisted shard of a (class, size) grid.
+	loadGrid := func(class expdesign.Class, size uint64) expdesign.FigureData {
+		base := expdesign.ArtifactFileName(class, size, 0, 1)
+		pattern := strings.TrimSuffix(base, ".jsonl") + "*.jsonl"
+		paths, err := filepath.Glob(filepath.Join(*artifacts, pattern))
+		if err == nil && len(paths) == 0 {
+			err = fmt.Errorf("no artifacts match %s in %s", pattern, *artifacts)
+		}
+		var fd expdesign.FigureData
+		if err == nil {
+			fd, err = expdesign.LoadFigureData(paths...)
+		}
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if *progress {
-			fmt.Fprintf(os.Stderr, "\r  %d/%d scenarios", done, total)
+			fmt.Fprintf(os.Stderr, "  (%s: %d scenarios from %d artifact file(s))\n",
+				class.Name, len(fd.Results), len(paths))
+		}
+		return fd
+	}
+
+	grid := func(class expdesign.Class, size uint64) expdesign.FigureData {
+		if *fromArt {
+			return loadGrid(class, size)
+		}
+		start := time.Now()
+		resumed := 0
+		first := true
+		prog := func(done, total int) {
+			if !*progress {
+				return
+			}
+			// The first callback of a resumed grid reports the restored
+			// count in one jump; exclude it from the rate estimate.
+			if first {
+				first = false
+				if done > 1 {
+					resumed = done
+				}
+			}
+			line := fmt.Sprintf("\r  %d/%d scenarios", done, total)
+			if computed := done - resumed; computed > 0 && done < total {
+				rate := time.Since(start) / time.Duration(computed)
+				line += fmt.Sprintf("  ETA %v   ", (rate * time.Duration(total-done)).Round(time.Second))
+			}
+			fmt.Fprint(os.Stderr, line)
 			if done == total {
 				fmt.Fprintln(os.Stderr)
 			}
 		}
-	}
-	grid := func(class expdesign.Class, size uint64) expdesign.FigureData {
-		start := time.Now()
-		fd := expdesign.RunGrid(expdesign.GridConfig{
+		cfg := expdesign.GridConfig{
 			Class:     class,
 			Scenarios: *scenarios,
 			Size:      size,
 			Reps:      *reps,
 			Workers:   *workers,
+			Shard:     shardIdx,
+			NumShards: numShards,
 			Progress:  prog,
-		})
+		}
+		if *artifacts != "" {
+			cfg.ArtifactPath = filepath.Join(*artifacts,
+				expdesign.ArtifactFileName(class, size, shardIdx, numShards))
+		}
+		fd, err := expdesign.RunGrid(cfg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
 		if *progress {
 			fmt.Fprintf(os.Stderr, "  (%s grid took %v)\n", class.Name, time.Since(start).Round(time.Second))
 		}

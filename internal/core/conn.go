@@ -25,7 +25,11 @@ type ConnStats struct {
 	PathsOpened        int
 	RTOs               uint64
 	PacketsLost        uint64
-	TailReinjections   uint64
+	// Retransmissions counts stream frames whose data was requeued
+	// after a loss declaration; each will be resent (possibly on a
+	// different path — retransmissions are not path-pinned, §3).
+	Retransmissions  uint64
+	TailReinjections uint64
 }
 
 // rawPayload carries a fully serialized packet through the emulator in
@@ -518,6 +522,7 @@ func (c *Conn) requeueFrames(frames []wire.Frame) {
 		case *wire.StreamFrame:
 			if s, ok := c.streams[fr.StreamID]; ok {
 				s.send.OnFrameLost(fr.Offset, fr.Len(), fr.Fin)
+				c.Stats.Retransmissions++
 			}
 		case *wire.HandshakeFrame:
 			switch fr.Message {

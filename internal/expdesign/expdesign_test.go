@@ -122,12 +122,15 @@ func TestRunMedianPicksMiddle(t *testing.T) {
 }
 
 func TestSmallGridProducesFigureData(t *testing.T) {
-	fd := RunGrid(GridConfig{
+	fd, err := RunGrid(GridConfig{
 		Class:     LowBDPNoLoss,
 		Scenarios: 4,
 		Size:      256 << 10,
 		Reps:      1,
 	})
+	if err != nil {
+		t.Fatal(err)
+	}
 	if len(fd.Results) != 4 {
 		t.Fatalf("%d results", len(fd.Results))
 	}
@@ -217,6 +220,36 @@ func TestHandoverExperiment(t *testing.T) {
 	for _, d := range post {
 		if d > 100*time.Millisecond {
 			t.Fatalf("post-recovery delay %v too high", d)
+		}
+	}
+}
+
+func TestEBenEdgeCases(t *testing.T) {
+	cases := []struct {
+		name string
+		gm   float64
+		gs   []float64
+		want float64
+	}{
+		// gmax <= 0: no working single path, nothing to compare against.
+		{"no single-path goodput", 5, []float64{0, 0}, 0},
+		{"no single paths at all", 5, nil, 0},
+		{"negative goodputs ignored", 5, []float64{-1, -2}, 0},
+		// sum == gmax: one single path carries everything, so the
+		// aggregation denominator (ΣGi − Gmax) vanishes.
+		{"single usable path, gm above", 8, []float64{4, 0}, 0},
+		{"single usable path, gm equal", 4, []float64{4}, 0},
+		// Failed multipath transfer: goodput ~0 maps to the −1 region.
+		{"failed multipath", 0, []float64{4, 2}, -1},
+		// Interior points of both branches.
+		{"below best path", 2, []float64{4, 2}, -0.5},
+		{"equals best path", 4, []float64{4, 2}, 0},
+		{"full aggregation", 6, []float64{4, 2}, 1},
+		{"half aggregation", 5, []float64{4, 2}, 0.5},
+	}
+	for _, c := range cases {
+		if got := EBen(c.gm, c.gs); math.Abs(got-c.want) > 1e-12 {
+			t.Errorf("%s: EBen(%v, %v) = %v, want %v", c.name, c.gm, c.gs, got, c.want)
 		}
 	}
 }

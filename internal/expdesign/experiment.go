@@ -1,6 +1,7 @@
 package expdesign
 
 import (
+	"fmt"
 	"runtime"
 	"sync"
 
@@ -33,7 +34,20 @@ type GridConfig struct {
 	Size      uint64 // transfer size
 	Reps      int    // repetitions per point (3 in the paper)
 	Workers   int    // parallel simulations (defaults to GOMAXPROCS)
-	// Progress, when non-nil, is called after each completed scenario.
+	// ArtifactPath, when non-empty, makes the grid checkpointed:
+	// every completed scenario is appended to this JSONL file as it
+	// finishes, and scenarios already on disk — keyed by (class seed,
+	// scenario ID, size, reps) — are loaded instead of recomputed, so
+	// an interrupted grid resumes where it stopped.
+	ArtifactPath string
+	// Shard/NumShards split the grid deterministically across
+	// processes or machines: with NumShards > 1 only scenarios with
+	// ID % NumShards == Shard run here. Point each shard at its own
+	// ArtifactPath and merge them with LoadFigureData.
+	Shard     int
+	NumShards int
+	// Progress, when non-nil, is called after each completed scenario
+	// (including scenarios restored from the checkpoint).
 	Progress func(done, total int)
 }
 
@@ -45,54 +59,133 @@ type FigureData struct {
 	Results []ScenarioResult
 }
 
-// RunGrid executes the full grid for one class: every scenario × 4
-// protocols × 2 initial paths × Reps repetitions, in parallel.
-func RunGrid(cfg GridConfig) FigureData {
+// Seed derivation. Every simulated run is seeded as
+//
+//	seed = ClassSeed·1_000_003 + ScenarioID·8191 + proto·131 + start·17 + 1 + rep·7919
+//
+// where the rep term is added by RunMedian. The five constants are
+// pairwise-distinct primes acting as mixed-radix strides: each
+// coordinate moves the seed by a stride no combination of the other
+// coordinates (over the evaluation's ranges — 253 scenarios, 4
+// protocols, 2 initial paths, ≤ 3 repetitions, class seeds 101–104)
+// can reproduce, so no two runs of the paper grid ever share a PRNG
+// stream (TestRunSeedsCollisionFree enumerates all of them). Because
+// each run's seed depends only on its own coordinates, results are
+// reproducible point-wise: re-running any single (scenario, proto,
+// start, rep) in isolation gives bit-identical output, which is what
+// makes checkpointed grids resumable and shards mergeable.
+func runSeed(class Class, scenarioID int, proto Protocol, start int) uint64 {
+	return class.Seed*1_000_003 + uint64(scenarioID)*8191 +
+		uint64(proto)*131 + uint64(start)*17 + 1
+}
+
+// runScenario executes one scenario's eight median runs.
+func runScenario(cfg GridConfig, sc Scenario) ScenarioResult {
+	sr := ScenarioResult{Scenario: sc}
+	for proto := ProtoTCP; proto <= ProtoMPQUIC; proto++ {
+		for start := 0; start < 2; start++ {
+			seed := runSeed(cfg.Class, sc.ID, proto, start)
+			sr.Runs[proto][start] = RunMedian(sc, proto, cfg.Size, start, cfg.Reps, seed)
+		}
+	}
+	return sr
+}
+
+// shardScenarios selects this process's share of the grid.
+func shardScenarios(cfg GridConfig) []Scenario {
+	all := GenerateScenarios(cfg.Class, cfg.Scenarios)
+	if cfg.NumShards <= 1 {
+		return all
+	}
+	var mine []Scenario
+	for _, sc := range all {
+		if sc.ID%cfg.NumShards == cfg.Shard {
+			mine = append(mine, sc)
+		}
+	}
+	return mine
+}
+
+// RunGrid executes the grid for one class: every scenario × 4
+// protocols × 2 initial paths × Reps repetitions, in parallel. With
+// ArtifactPath set the grid is checkpointed (completed scenarios are
+// persisted as they finish and skipped on restart); with NumShards > 1
+// only this shard's scenarios run. The returned FigureData covers this
+// shard only — merge shard artifacts with LoadFigureData.
+func RunGrid(cfg GridConfig) (FigureData, error) {
 	if cfg.Workers <= 0 {
 		cfg.Workers = runtime.GOMAXPROCS(0)
 	}
 	if cfg.Reps <= 0 {
 		cfg.Reps = Repetitions
 	}
-	scenarios := GenerateScenarios(cfg.Class, cfg.Scenarios)
+	if cfg.NumShards > 1 && (cfg.Shard < 0 || cfg.Shard >= cfg.NumShards) {
+		return FigureData{}, fmt.Errorf("expdesign: shard %d out of range 0..%d", cfg.Shard, cfg.NumShards-1)
+	}
+	scenarios := shardScenarios(cfg)
 	results := make([]ScenarioResult, len(scenarios))
+
+	var cp *Checkpoint
+	if cfg.ArtifactPath != "" {
+		var err error
+		if cp, err = OpenCheckpoint(cfg.ArtifactPath); err != nil {
+			return FigureData{}, err
+		}
+		defer cp.Close()
+	}
+
+	// Resume: satisfy scenarios from the checkpoint, queue the rest.
+	var pending []int
+	for i, sc := range scenarios {
+		if cp != nil {
+			if sr, ok := cp.Lookup(cfg, sc); ok {
+				results[i] = sr
+				continue
+			}
+		}
+		pending = append(pending, i)
+	}
+	done := len(scenarios) - len(pending)
+	if cfg.Progress != nil && done > 0 {
+		cfg.Progress(done, len(scenarios))
+	}
 
 	var wg sync.WaitGroup
 	var mu sync.Mutex
-	done := 0
+	var persistErr error
 	jobs := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range jobs {
-				sc := scenarios[i]
-				var sr ScenarioResult
-				sr.Scenario = sc
-				for proto := ProtoTCP; proto <= ProtoMPQUIC; proto++ {
-					for start := 0; start < 2; start++ {
-						seed := cfg.Class.Seed*1_000_003 + uint64(sc.ID)*8191 +
-							uint64(proto)*131 + uint64(start)*17 + 1
-						sr.Runs[proto][start] = RunMedian(sc, proto, cfg.Size, start, cfg.Reps, seed)
+				sr := runScenario(cfg, scenarios[i])
+				results[i] = sr
+				mu.Lock()
+				if cp != nil {
+					if err := cp.Append(cfg, sr); err != nil && persistErr == nil {
+						persistErr = err
 					}
 				}
-				results[i] = sr
+				done++
+				// Progress runs under the lock: callbacks see done
+				// strictly increasing and need no locking of their own.
 				if cfg.Progress != nil {
-					mu.Lock()
-					done++
-					d := done
-					mu.Unlock()
-					cfg.Progress(d, len(scenarios))
+					cfg.Progress(done, len(scenarios))
 				}
+				mu.Unlock()
 			}
 		}()
 	}
-	for i := range scenarios {
+	for _, i := range pending {
 		jobs <- i
 	}
 	close(jobs)
 	wg.Wait()
-	return FigureData{Class: cfg.Class.Name, Size: cfg.Size, Results: results}
+	if persistErr != nil {
+		return FigureData{}, persistErr
+	}
+	return FigureData{Class: cfg.Class.Name, Size: cfg.Size, Results: results}, nil
 }
 
 // TimeRatios extracts the Fig. 3/5/8/9 CDF inputs: for each of the

@@ -120,6 +120,9 @@ type Subflow struct {
 	SentSegments  uint64
 	SentBytes     uint64
 	DataBytesSent uint64
+	// SegmentsLost counts segments declared lost on this subflow (FACK
+	// threshold or RTO) and requeued for in-subflow retransmission.
+	SegmentsLost  uint64
 	Retransmits   uint64
 	Reinjections  uint64
 	RTOCount      uint64
@@ -134,6 +137,13 @@ func (sf *Subflow) PotentiallyFailed() bool { return sf.potentiallyFailed }
 
 // RTT exposes the (coarse) estimator.
 func (sf *Subflow) RTT() *rtt.Estimator { return sf.est }
+
+// Cwnd reports the subflow's congestion window in bytes.
+func (sf *Subflow) Cwnd() int { return sf.cc.Cwnd() }
+
+// BytesReceived reports distinct subflow-sequence bytes received on
+// this subflow — the per-path share of the incoming byte stream.
+func (sf *Subflow) BytesReceived() uint64 { return sf.received.Size() }
 
 // cwndAvailable reports whether a full segment fits the window.
 func (sf *Subflow) cwndAvailable() bool {

@@ -268,6 +268,7 @@ func (c *Conn) processSubflowAck(sf *Subflow, seg *tcpsim.Segment) {
 		}
 	}
 	if len(lost) > 0 {
+		sf.SegmentsLost += uint64(len(lost))
 		var largestTx uint64
 		for _, r := range lost {
 			if r.txSeq > largestTx {
@@ -592,6 +593,7 @@ func (c *Conn) sendMapped(sf *Subflow, sfStart, sfEnd, dataStart, dataEnd uint64
 	c.ackFields(sf, seg)
 	if isRtx {
 		sf.liveRtx++
+		sf.Retransmits++
 	}
 	rec := &sfRecord{
 		txSeq:     sf.nextTxSeq,
@@ -674,6 +676,7 @@ func (c *Conn) onSubflowRTO(sf *Subflow) {
 			continue
 		}
 		r.settled = true
+		sf.SegmentsLost++
 		if r.isRtx {
 			sf.liveRtx--
 		}

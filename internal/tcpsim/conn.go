@@ -57,9 +57,12 @@ type sendRecord struct {
 
 // Stats counts per-connection activity.
 type Stats struct {
-	SegmentsSent   uint64
-	SegmentsRcvd   uint64
-	BytesSent      uint64
+	SegmentsSent uint64
+	SegmentsRcvd uint64
+	BytesSent    uint64
+	// SegmentsLost counts segments declared lost (FACK threshold or
+	// RTO) and returned to the retransmission queue.
+	SegmentsLost   uint64
 	Retransmits    uint64
 	RTOCount       uint64
 	FastRetransmit uint64
@@ -232,6 +235,9 @@ func (c *Conn) Err() error { return c.closeErr }
 
 // RTT exposes the estimator (coarse, Karn-limited).
 func (c *Conn) RTT() *rtt.Estimator { return c.est }
+
+// Cwnd reports the congestion window in bytes.
+func (c *Conn) Cwnd() int { return c.cc.Cwnd() }
 
 // --- application API ---
 

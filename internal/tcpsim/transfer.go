@@ -251,6 +251,7 @@ func (c *Conn) processAck(seg *Segment) {
 	}
 	if len(lostRecords) > 0 {
 		c.Stats.FastRetransmit++
+		c.Stats.SegmentsLost += uint64(len(lostRecords))
 		var largestTx uint64
 		for _, r := range lostRecords {
 			largestTx = max(largestTx, r.txSeq)
@@ -499,6 +500,7 @@ func (c *Conn) onRTO() {
 				continue
 			}
 			r.settled = true
+			c.Stats.SegmentsLost++
 			if r.isRtx {
 				c.liveRtx--
 			}

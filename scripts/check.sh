@@ -1,0 +1,28 @@
+#!/bin/sh
+# check.sh — the pre-commit gate: formatting, vet, the full test
+# suite, and a race-enabled pass over the fast (internal) packages.
+# Run it as `scripts/check.sh` or `make check` from the repo root.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+echo "== gofmt"
+unformatted=$(gofmt -l .)
+if [ -n "$unformatted" ]; then
+    echo "gofmt needed on:" >&2
+    echo "$unformatted" >&2
+    exit 1
+fi
+
+echo "== go vet"
+go vet ./...
+
+echo "== go test"
+go test ./...
+
+# The root package hosts the grid benchmarks; every internal package
+# is seconds-fast even under the race detector.
+echo "== go test -race (internal packages)"
+go test -race ./internal/...
+
+echo "ok"
