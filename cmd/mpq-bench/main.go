@@ -15,12 +15,20 @@
 // -from-artifacts renders the reports from the persisted (possibly
 // merged) shard files without running anything.
 //
+// Beyond the paper, -exp dynamics (or dyn-bursty / dyn-osc /
+// dyn-flaky individually) runs the scripted time-varying-link grids of
+// internal/netem/dynamics: Gilbert–Elliott bursty loss, oscillating
+// bandwidth (WiFi fading), and periodically flaky paths. They use the
+// same checkpoint/shard machinery as the paper grids.
+//
 // Usage:
 //
-//	mpq-bench                            # every experiment, subsampled
+//	mpq-bench                            # every paper experiment, subsampled
 //	mpq-bench -exp fig3                  # one experiment
 //	mpq-bench -full -exp fig4            # paper-scale grid for one figure
 //	mpq-bench -cdf -exp fig5             # also dump raw CDF series for plotting
+//	mpq-bench -exp dynamics              # the three dynamic grids
+//	mpq-bench -exp dyn-bursty -artifacts out    # one dynamic grid, checkpointed
 //	mpq-bench -full -artifacts out       # checkpointed: ^C and re-run to resume
 //	mpq-bench -full -artifacts out -shard 1/4   # second quarter of each grid
 //	mpq-bench -artifacts out -from-artifacts    # reports from persisted shards
@@ -54,7 +62,7 @@ func parseShard(s string) (int, int, error) {
 
 func main() {
 	var (
-		exp       = flag.String("exp", "all", "experiment: all, table1, fig3..fig11")
+		exp       = flag.String("exp", "all", "experiment: all, table1, fig3..fig11, dynamics, dyn-bursty, dyn-osc, dyn-flaky")
 		scenarios = flag.Int("scenarios", 40, "scenarios per class (paper: 253)")
 		reps      = flag.Int("reps", 1, "repetitions per point, median taken (paper: 3)")
 		workers   = flag.Int("workers", 0, "parallel simulations (default GOMAXPROCS)")
@@ -228,7 +236,33 @@ func main() {
 		fmt.Println(expdesign.ReportHandover(res, "Figure 11"))
 	}
 
-	if !strings.HasPrefix(*exp, "fig") && *exp != "all" && *exp != "table1" {
+	// Dynamic grids (beyond the paper): scripted time-varying links.
+	// Not part of -exp all; select them with -exp dynamics or by name.
+	dynGrids := []struct {
+		name  string
+		class expdesign.Class
+		title string
+	}{
+		{"dyn-bursty", expdesign.BurstyLossGrid, "Bursty loss (Gilbert–Elliott), 20 MB, low-BDP"},
+		{"dyn-osc", expdesign.OscillatingGrid, "Oscillating bandwidth (WiFi fading), 20 MB, low-BDP"},
+		{"dyn-flaky", expdesign.FlakyPathGrid, "Flaky path (periodic outages), 20 MB, low-BDP"},
+	}
+	known := map[string]bool{"all": true, "table1": true, "dynamics": true}
+	for i := 3; i <= 11; i++ {
+		known[fmt.Sprintf("fig%d", i)] = true
+	}
+	for _, g := range dynGrids {
+		known[g.name] = true
+		if *exp != "dynamics" && *exp != g.name {
+			continue
+		}
+		fd := grid(g.class, expdesign.LargeTransfer)
+		fmt.Println(expdesign.ReportTimeRatioCDF(fd, g.title))
+		dump(fd)
+		fmt.Println(expdesign.ReportAggBenefit(fd, g.title))
+	}
+
+	if !known[*exp] {
 		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", *exp)
 		os.Exit(2)
 	}

@@ -1,13 +1,19 @@
 // Command mpq-handover regenerates Fig. 11: request/response traffic
 // over Multipath QUIC with the initial path failing mid-connection.
+// The failure is a netem/dynamics script; -mode selects its shape —
+// the paper's hard kill, a periodically flapping link, or fading
+// (oscillating) capacity.
 //
 //	mpq-handover                 # the paper's parameters
 //	mpq-handover -no-paths-frame # ablation: without the PATHS signal
+//	mpq-handover -mode flap -period 2s -outage 500ms
+//	mpq-handover -mode oscillate -period 1s -depth 0.8
 package main
 
 import (
 	"flag"
 	"fmt"
+	"os"
 	"time"
 
 	"mpquic/internal/expdesign"
@@ -22,9 +28,19 @@ func main() {
 		duration = flag.Duration("duration", 15*time.Second, "request train duration")
 		noPaths  = flag.Bool("no-paths-frame", false, "ablation: disable the PATHS frame on failure")
 		seed     = flag.Uint64("seed", 1, "simulation seed")
+		mode     = flag.String("mode", "kill", "failure dynamics: kill, flap, oscillate")
+		period   = flag.Duration("period", 2*time.Second, "flap/oscillation period")
+		outage   = flag.Duration("outage", 500*time.Millisecond, "flap outage length")
+		depth    = flag.Float64("depth", 0.8, "oscillation depth in (0,1)")
 	)
 	flag.Parse()
 
+	switch *mode {
+	case expdesign.HandoverKill, expdesign.HandoverFlap, expdesign.HandoverOscillate:
+	default:
+		fmt.Fprintf(os.Stderr, "unknown -mode %q (want kill, flap or oscillate)\n", *mode)
+		os.Exit(2)
+	}
 	hc := expdesign.HandoverConfig{
 		InitialRTT:          *rtt0,
 		SecondRTT:           *rtt1,
@@ -33,7 +49,15 @@ func main() {
 		Duration:            *duration,
 		PathsFrameOnFailure: !*noPaths,
 		Seed:                *seed,
+		Mode:                *mode,
+		Period:              *period,
+		Outage:              *outage,
+		Depth:               *depth,
 	}
 	res := expdesign.RunHandover(hc)
-	fmt.Print(expdesign.ReportHandover(res, "Network handover over Multipath QUIC"))
+	title := "Network handover over Multipath QUIC"
+	if *mode != expdesign.HandoverKill {
+		title += " (" + *mode + " dynamics)"
+	}
+	fmt.Print(expdesign.ReportHandover(res, title))
 }

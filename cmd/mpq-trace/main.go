@@ -1,10 +1,14 @@
 // Command mpq-trace runs one (MP)QUIC download with full protocol
 // tracing — the reproduction's qlog. Events (packets, acks, losses,
 // congestion windows, path lifecycle) stream to stdout as text or
-// newline-delimited JSON.
+// newline-delimited JSON. Link lifecycle events (link_down, link_up,
+// link_reconfigured) from the emulator are interleaved, so dynamic
+// scenarios — a killed or flapping path — explain themselves in the
+// trace.
 //
 //	mpq-trace -size 1 -json > transfer.qlog
 //	mpq-trace -events rto_fired,path_potentially_failed -kill-at 2s
+//	mpq-trace -events link_down,link_up,rto_fired -flap-period 2s -flap-outage 300ms
 package main
 
 import (
@@ -17,6 +21,7 @@ import (
 	"mpquic/internal/apps"
 	"mpquic/internal/core"
 	"mpquic/internal/netem"
+	"mpquic/internal/netem/dynamics"
 	"mpquic/internal/sim"
 	"mpquic/internal/trace"
 )
@@ -28,6 +33,8 @@ func main() {
 		events  = flag.String("events", "", "comma-separated event filter (empty = all)")
 		side    = flag.String("side", "server", "which endpoint to trace: client or server")
 		killAt  = flag.Duration("kill-at", 0, "kill path 0 at this time (0 = never)")
+		flapP   = flag.Duration("flap-period", 0, "flap path 0 with this period (0 = no flapping)")
+		flapO   = flag.Duration("flap-outage", 300*time.Millisecond, "flap outage length (with -flap-period)")
 		cap0    = flag.Float64("cap0", 10, "path 0 capacity [Mbps]")
 		cap1    = flag.Float64("cap1", 10, "path 1 capacity [Mbps]")
 		rtt0    = flag.Duration("rtt0", 30*time.Millisecond, "path 0 RTT")
@@ -75,8 +82,14 @@ func main() {
 	var res *apps.GetResult
 	apps.NewGetClient(client, uint64(*sizeMB*(1<<20)), func() time.Duration { return clock.Now().Duration() },
 		func(r apps.GetResult) { res = &r; clock.Stop() })
+	// Link lifecycle events ride the same tracer as the protocol's, so
+	// a dynamic scenario's cause and effect line up in one stream.
+	tp.SetTracer(tracer)
 	if *killAt > 0 {
-		clock.At(sim.Time(*killAt), func() { tp.KillPath(0) })
+		dynamics.KillAt(0, *killAt).Apply(clock, tp)
+	}
+	if *flapP > 0 {
+		dynamics.Flap(0, *flapP/2, *flapO, *flapP).Apply(clock, tp)
 	}
 	if err := clock.RunUntil(sim.Time(10 * time.Minute)); err != nil {
 		fmt.Fprintln(os.Stderr, "sim:", err)

@@ -243,12 +243,14 @@ func TestRunMetricsPopulated(t *testing.T) {
 }
 
 // TestRunSeedsCollisionFree enumerates every seed of the paper-scale
-// evaluation (4 classes × 253 scenarios × 4 protocols × 2 initial
-// paths × 3 repetitions) and asserts the derivation scheme documented
-// at runSeed never assigns two runs the same PRNG stream.
+// evaluation (4 static + 3 dynamic classes × 253 scenarios × 4
+// protocols × 2 initial paths × 3 repetitions) and asserts the
+// derivation scheme documented at runSeed never assigns two runs the
+// same PRNG stream.
 func TestRunSeedsCollisionFree(t *testing.T) {
-	seen := make(map[uint64]string, 4*PaperScenarioCount*4*2*Repetitions)
-	for _, class := range Classes {
+	all := append(append([]Class(nil), Classes...), DynamicClasses...)
+	seen := make(map[uint64]string, len(all)*PaperScenarioCount*4*2*Repetitions)
+	for _, class := range all {
 		for id := 0; id < PaperScenarioCount; id++ {
 			for proto := ProtoTCP; proto <= ProtoMPQUIC; proto++ {
 				for start := 0; start < 2; start++ {

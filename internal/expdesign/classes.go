@@ -33,13 +33,18 @@ var (
 	HighBDPRanges = Ranges{0.1, 100, 400 * time.Millisecond, 2000 * time.Millisecond, 0.025}
 )
 
-// Class is one of the four scenario classes of §4.1.
+// Class is one scenario class: the four static classes of §4.1, or a
+// dynamic class whose scenarios additionally script time-varying link
+// behaviour through netem/dynamics.
 type Class struct {
 	Name   string
 	Ranges Ranges
 	Losses bool
 	// Seed decorrelates the WSP designs of different classes.
 	Seed uint64
+	// Dynamics selects the class's time-varying behaviour (one of the
+	// Dyn* kinds); empty means static links, the paper's setting.
+	Dynamics string
 }
 
 // The four classes of the evaluation.
@@ -53,40 +58,130 @@ var (
 // Classes lists all four in paper order.
 var Classes = []Class{LowBDPNoLoss, LowBDPLosses, HighBDPNoLoss, HighBDPLosses}
 
+// Dynamics kinds. Each names a family of time-varying behaviour whose
+// per-scenario parameters are extra WSP-designed factors.
+const (
+	// DynBursty replaces every lossy link's Bernoulli process with a
+	// Gilbert–Elliott chain of the same average loss rate, with the
+	// mean burst length as a designed factor.
+	DynBursty = "bursty"
+	// DynOscillate makes path 0's capacity follow a sinusoid around
+	// its designed value (WiFi-fading); period and depth are designed
+	// factors.
+	DynOscillate = "oscillate"
+	// DynFlaky takes path 0 down periodically; outage length and
+	// period are designed factors.
+	DynFlaky = "flaky"
+)
+
+// The dynamic scenario classes (beyond the paper): the same low-BDP
+// factor ranges, plus scripted link behaviour.
+var (
+	BurstyLossGrid  = Class{Name: "bursty-loss", Ranges: LowBDPRanges, Losses: true, Seed: 105, Dynamics: DynBursty}
+	OscillatingGrid = Class{Name: "oscillating-bw", Ranges: LowBDPRanges, Losses: false, Seed: 106, Dynamics: DynOscillate}
+	FlakyPathGrid   = Class{Name: "flaky-path", Ranges: LowBDPRanges, Losses: false, Seed: 107, Dynamics: DynFlaky}
+)
+
+// DynamicClasses lists the dynamic grids.
+var DynamicClasses = []Class{BurstyLossGrid, OscillatingGrid, FlakyPathGrid}
+
 // PaperScenarioCount is the per-class scenario count of §4.1.
 const PaperScenarioCount = 253
 
-// Scenario is one emulated two-path environment.
+// Ranges of the dynamic-class extra factors.
+const (
+	// Gilbert–Elliott mean burst length, packets.
+	minBurstPkts, maxBurstPkts = 2.0, 16.0
+	// Capacity-oscillation period and relative depth.
+	minOscPeriod, maxOscPeriod = 500 * time.Millisecond, 4 * time.Second
+	minOscDepth, maxOscDepth   = 0.2, 0.8
+	// Flaky-path outage cycle and outage length.
+	minFlapPeriod, maxFlapPeriod = 2 * time.Second, 8 * time.Second
+	minFlapOutage, maxFlapOutage = 100 * time.Millisecond, 1 * time.Second
+)
+
+// Dynamics declares a scenario's scripted behaviour. The zero value
+// (absent in JSON) means a static scenario. Parameters irrelevant to
+// the Kind are zero.
+type Dynamics struct {
+	Kind string `json:"kind"`
+	// Path is the scenario path index the script targets (bursty
+	// applies to every lossy path instead).
+	Path int `json:"path,omitempty"`
+	// MeanBurstPkts is the Gilbert–Elliott mean burst length.
+	MeanBurstPkts float64 `json:"mean_burst_pkts,omitempty"`
+	// Period is the oscillation or flap cycle.
+	Period time.Duration `json:"period,omitempty"`
+	// Depth is the relative capacity-oscillation amplitude in (0,1).
+	Depth float64 `json:"depth,omitempty"`
+	// Outage is how long the flaky path stays down each cycle.
+	Outage time.Duration `json:"outage,omitempty"`
+}
+
+// Scenario is one emulated two-path environment, optionally with
+// scripted dynamics.
 type Scenario struct {
 	ID    int
 	Class string
 	Paths [2]netem.PathSpec
+	// Dynamics, when non-nil, scripts time-varying behaviour on top of
+	// the paths' base configuration.
+	Dynamics *Dynamics `json:",omitempty"`
 }
 
 // String renders a compact description.
 func (s Scenario) String() string {
 	p := s.Paths
-	return fmt.Sprintf("%s#%d [%.2fMbps/%v/%v/%.2f%% | %.2fMbps/%v/%v/%.2f%%]",
+	str := fmt.Sprintf("%s#%d [%.2fMbps/%v/%v/%.2f%% | %.2fMbps/%v/%v/%.2f%%]",
 		s.Class, s.ID,
 		p[0].CapacityMbps, p[0].RTT, p[0].QueueDelay, p[0].LossRate*100,
 		p[1].CapacityMbps, p[1].RTT, p[1].QueueDelay, p[1].LossRate*100)
+	if d := s.Dynamics; d != nil {
+		switch d.Kind {
+		case DynBursty:
+			str += fmt.Sprintf(" +GE(burst=%.1fpkt)", d.MeanBurstPkts)
+		case DynOscillate:
+			str += fmt.Sprintf(" +osc(path%d, %v, ±%.0f%%)", d.Path, d.Period, d.Depth*100)
+		case DynFlaky:
+			str += fmt.Sprintf(" +flap(path%d, %v down per %v)", d.Path, d.Outage, d.Period)
+		}
+	}
+	return str
 }
 
 // dims is the design dimensionality: (capacity, RTT, queueing) per
-// path, plus loss per path in lossy classes.
-func dims(losses bool) int {
-	if losses {
-		return 8
+// path, plus loss per path in lossy classes, plus the dynamic-class
+// extra factors.
+func dims(c Class) int {
+	d := 6
+	if c.Losses {
+		d += 2
 	}
-	return 6
+	switch c.Dynamics {
+	case DynBursty:
+		d++ // mean burst length
+	case DynOscillate, DynFlaky:
+		d += 2 // period + depth, or period + outage
+	}
+	return d
+}
+
+// linMap maps x∈[0,1) onto [lo,hi] linearly.
+func linMap(x, lo, hi float64) float64 { return lo + x*(hi-lo) }
+
+// durMap maps x∈[0,1) onto a duration range linearly.
+func durMap(x float64, lo, hi time.Duration) time.Duration {
+	return lo + time.Duration(x*float64(hi-lo))
 }
 
 // GenerateScenarios builds n WSP-selected scenarios for a class.
 // Capacity is mapped logarithmically across its three decades (0.1–100
 // Mbps); the remaining factors map linearly, exactly as an
-// experimental-design study spreads heterogeneous ranges.
+// experimental-design study spreads heterogeneous ranges. Dynamic
+// classes consume extra design dimensions for their script parameters,
+// so those, too, are space-filling rather than fixed.
 func GenerateScenarios(c Class, n int) []Scenario {
-	pts := wsp.Select(n, dims(c.Losses), c.Seed)
+	pts := wsp.Select(n, dims(c), c.Seed)
 	out := make([]Scenario, len(pts))
 	for i, p := range pts {
 		var sc Scenario
@@ -102,6 +197,31 @@ func GenerateScenarios(c Class, n int) []Scenario {
 				spec.LossRate = p[6+path] * c.Ranges.LossMax
 			}
 			sc.Paths[path] = spec
+		}
+		extra := 6
+		if c.Losses {
+			extra = 8
+		}
+		switch c.Dynamics {
+		case DynBursty:
+			sc.Dynamics = &Dynamics{
+				Kind:          DynBursty,
+				MeanBurstPkts: linMap(p[extra], minBurstPkts, maxBurstPkts),
+			}
+		case DynOscillate:
+			sc.Dynamics = &Dynamics{
+				Kind:   DynOscillate,
+				Path:   0,
+				Period: durMap(p[extra], minOscPeriod, maxOscPeriod),
+				Depth:  linMap(p[extra+1], minOscDepth, maxOscDepth),
+			}
+		case DynFlaky:
+			sc.Dynamics = &Dynamics{
+				Kind:   DynFlaky,
+				Path:   0,
+				Period: durMap(p[extra], minFlapPeriod, maxFlapPeriod),
+				Outage: durMap(p[extra+1], minFlapOutage, maxFlapOutage),
+			}
 		}
 		out[i] = sc
 	}

@@ -8,6 +8,7 @@ import (
 	"mpquic/internal/core"
 	"mpquic/internal/mptcpsim"
 	"mpquic/internal/netem"
+	"mpquic/internal/netem/dynamics"
 	"mpquic/internal/sim"
 	"mpquic/internal/tcpsim"
 )
@@ -184,6 +185,12 @@ func deadlineFor(sc Scenario, proto Protocol, size uint64, startPath int) time.D
 		}
 	}
 	ideal := time.Duration(float64(size) * 8 / rate * float64(time.Second))
+	// A flaky path only carries traffic for part of each cycle; pad the
+	// ideal time by the duty cycle so outages don't misclassify slow
+	// but working runs as failures.
+	if dyn := sc.Dynamics; dyn != nil && dyn.Kind == DynFlaky && dyn.Period > dyn.Outage {
+		ideal = time.Duration(float64(ideal) * float64(dyn.Period) / float64(dyn.Period-dyn.Outage))
+	}
 	d := 30*ideal + 2*time.Minute
 	if d > 6*time.Hour {
 		d = 6 * time.Hour
@@ -201,6 +208,49 @@ func orderedSpecs(sc Scenario, startPath int) [2]netem.PathSpec {
 	return [2]netem.PathSpec{sc.Paths[1], sc.Paths[0]}
 }
 
+// applyDynamics installs the scenario's scripted behaviour on the
+// freshly built topology. rng is the run's master PRNG, already past
+// the topology's forks: loss-model PRNGs are forked from it in a fixed
+// order, so a dynamic run is exactly as reproducible as a static one.
+// Scenario path indices are remapped through the same reordering as
+// orderedSpecs (startPath becomes topology path 0).
+func applyDynamics(clock *sim.Clock, rng *sim.Rand, tp *netem.TwoPathNet, sc Scenario, startPath int) {
+	d := sc.Dynamics
+	if d == nil {
+		return
+	}
+	topoIdx := func(p int) int {
+		if startPath == 1 {
+			return 1 - p
+		}
+		return p
+	}
+	switch d.Kind {
+	case DynBursty:
+		// Every lossy link trades its Bernoulli process for a
+		// Gilbert–Elliott chain of the same average loss rate. Forks
+		// happen in scenario-path order so the draw sequences do not
+		// depend on the start path.
+		for p := 0; p < 2; p++ {
+			spec := sc.Paths[p]
+			if spec.LossRate <= 0 {
+				continue
+			}
+			for _, l := range tp.PathLinks(topoIdx(p)) {
+				l.SetLossModel(dynamics.NewGilbertElliott(
+					rng.Fork(), dynamics.GEFromAverage(spec.LossRate, d.MeanBurstPkts)))
+			}
+		}
+	case DynOscillate:
+		dynamics.OscillateRate(topoIdx(d.Path), sc.Paths[d.Path].CapacityMbps, d.Depth, d.Period).
+			Apply(clock, tp)
+	case DynFlaky:
+		// First outage half a period in, so the handshake gets a
+		// fighting chance and every cycle thereafter is identical.
+		dynamics.Flap(topoIdx(d.Path), d.Period/2, d.Outage, d.Period).Apply(clock, tp)
+	}
+}
+
 // Run executes one simulation: the given protocol downloading size
 // bytes over the scenario, with the connection initiated on startPath,
 // seeded with seed. Single-path protocols use startPath only.
@@ -208,7 +258,9 @@ func Run(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64) R
 	clock := sim.NewClock()
 	clock.Limit = 400_000_000
 	specs := orderedSpecs(sc, startPath)
-	tp := netem.NewTwoPath(clock, sim.NewRand(seed), specs)
+	rng := sim.NewRand(seed)
+	tp := netem.NewTwoPath(clock, rng, specs)
+	applyDynamics(clock, rng, tp, sc, startPath)
 	deadline := deadlineFor(sc, proto, size, startPath)
 
 	var (
@@ -313,7 +365,9 @@ func RunMPQUICVariant(sc Scenario, cfg core.Config, size uint64, startPath int, 
 	clock := sim.NewClock()
 	clock.Limit = 400_000_000
 	specs := orderedSpecs(sc, startPath)
-	tp := netem.NewTwoPath(clock, sim.NewRand(seed), specs)
+	rng := sim.NewRand(seed)
+	tp := netem.NewTwoPath(clock, rng, specs)
+	applyDynamics(clock, rng, tp, sc, startPath)
 	deadline := deadlineFor(sc, ProtoMPQUIC, size, startPath)
 	cfg.HandshakeSeed = seed
 	nPaths := 2

@@ -1,0 +1,234 @@
+package dynamics
+
+import (
+	"testing"
+	"time"
+
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+	"mpquic/internal/trace"
+)
+
+// testTarget is a one-path Target over a single real link, so change
+// application (Reconfigure, SetDown) is exercised end to end.
+type testTarget struct {
+	link *netem.Link
+}
+
+func (t testTarget) PathLinks(int) []*netem.Link { return []*netem.Link{t.link} }
+
+func newTestTarget(clock *sim.Clock) testTarget {
+	cfg := netem.LinkConfig{RateMbps: 10, Delay: 10 * time.Millisecond, QueueDelay: 100 * time.Millisecond}
+	return testTarget{link: netem.NewLink(clock, sim.NewRand(1), "t", cfg, func(netem.Datagram) {})}
+}
+
+// sample records fn() at virtual time at.
+func sample(clock *sim.Clock, at time.Duration, fn func()) {
+	clock.At(sim.Time(at), fn)
+}
+
+func TestScriptAppliesEventsInTimestampOrder(t *testing.T) {
+	clock := sim.NewClock()
+	tg := newTestTarget(clock)
+	// Deliberately unsorted event list; Apply must sort a copy.
+	s := Script{}.
+		Then(2*time.Second, 0, Rate(2)).
+		Then(1*time.Second, 0, Rate(5)).
+		Then(3*time.Second, 0, Delay(40*time.Millisecond))
+	s.Apply(clock, tg)
+
+	var rates []float64
+	for _, at := range []time.Duration{500 * time.Millisecond, 1500 * time.Millisecond, 2500 * time.Millisecond} {
+		sample(clock, at, func() { rates = append(rates, tg.link.Config().RateMbps) })
+	}
+	var delayAfter time.Duration
+	sample(clock, 3500*time.Millisecond, func() { delayAfter = tg.link.Config().Delay })
+	if err := clock.RunUntil(sim.Time(4 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{10, 5, 2}
+	for i, r := range rates {
+		if r != want[i] {
+			t.Fatalf("rate sample %d = %v, want %v", i, r, want[i])
+		}
+	}
+	if delayAfter != 40*time.Millisecond {
+		t.Fatalf("delay after script = %v, want 40ms", delayAfter)
+	}
+	// A rate drop must shrink the queue bound too (re-derivation).
+	if got := tg.link.QueueCapacityBytes(); got != 25_000 {
+		t.Fatalf("queue capacity after 2 Mbps reconfigure = %dB, want 25000B", got)
+	}
+}
+
+func TestScriptRepeatAndUntilHorizon(t *testing.T) {
+	clock := sim.NewClock()
+	tg := newTestTarget(clock)
+	probe := Script{
+		Events: []Event{{At: 100 * time.Millisecond, Path: 0, Change: Rate(10)}},
+		Repeat: 100 * time.Millisecond,
+		Until:  1 * time.Second,
+	}
+	// Each Rate(10) leaves the config unchanged but still emits a
+	// link_reconfigured event — count those to count applications.
+	ctr := trace.NewCounter()
+	tg.link.SetTracer(ctr)
+	probe.Apply(clock, tg)
+	if err := clock.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	applied := ctr.Counts[trace.LinkReconfigured]
+	// Events at 100ms..900ms pass the Until=1s horizon; 1s does not.
+	if applied != 9 {
+		t.Fatalf("repeating script applied %d times, want 9 (Until horizon)", applied)
+	}
+	if clock.Pending() != 0 {
+		t.Fatalf("%d events still pending after horizon", clock.Pending())
+	}
+}
+
+func TestFlapGeneratorDownUpCycle(t *testing.T) {
+	clock := sim.NewClock()
+	tg := newTestTarget(clock)
+	ctr := trace.NewCounter()
+	tg.link.SetTracer(ctr)
+	Flap(0, 500*time.Millisecond, 200*time.Millisecond, 1*time.Second).Apply(clock, tg)
+
+	type probe struct {
+		at   time.Duration
+		down bool
+	}
+	var got []probe
+	for _, at := range []time.Duration{
+		400 * time.Millisecond,  // before first outage
+		600 * time.Millisecond,  // inside first outage
+		800 * time.Millisecond,  // recovered
+		1600 * time.Millisecond, // inside second outage (1.5s–1.7s)
+		1900 * time.Millisecond, // recovered again
+	} {
+		at := at
+		sample(clock, at, func() { got = append(got, probe{at, tg.link.Down()}) })
+	}
+	// Bound the unbounded repeat by stopping the clock.
+	sample(clock, 2*time.Second, clock.Stop)
+	if err := clock.RunUntil(sim.Time(10 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	want := []bool{false, true, false, true, false}
+	for i, p := range got {
+		if p.down != want[i] {
+			t.Fatalf("at %v: down=%v, want %v", p.at, p.down, want[i])
+		}
+	}
+	if ctr.Counts[trace.LinkDown] != 2 || ctr.Counts[trace.LinkUp] != 2 {
+		t.Fatalf("trace counts down=%d up=%d, want 2/2",
+			ctr.Counts[trace.LinkDown], ctr.Counts[trace.LinkUp])
+	}
+}
+
+func TestFlapPanicsOnOutageNotShorterThanPeriod(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Flap accepted outage == period")
+		}
+	}()
+	Flap(0, 0, time.Second, time.Second)
+}
+
+func TestOscillateRateStaysWithinDepthBand(t *testing.T) {
+	clock := sim.NewClock()
+	tg := newTestTarget(clock)
+	const mean, depth = 10.0, 0.5
+	s := OscillateRate(0, mean, depth, 800*time.Millisecond)
+	s.Until = 4 * time.Second // bound the repeat for the test
+	s.Apply(clock, tg)
+
+	var min, max float64 = mean, mean
+	for at := 50 * time.Millisecond; at < 4*time.Second; at += 100 * time.Millisecond {
+		sample(clock, at, func() {
+			r := tg.link.Config().RateMbps
+			if r < min {
+				min = r
+			}
+			if r > max {
+				max = r
+			}
+		})
+	}
+	if err := clock.RunUntil(sim.Time(5 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	lo, hi := mean*(1-depth), mean*(1+depth)
+	if min < lo-1e-9 || max > hi+1e-9 {
+		t.Fatalf("oscillation left the band: saw [%v, %v], want within [%v, %v]", min, max, lo, hi)
+	}
+	// The sinusoid must actually swing: both band edges reached (the
+	// 8-step sampling hits sin=±1 exactly at steps 2 and 6).
+	if min > lo+1e-9 || max < hi-1e-9 {
+		t.Fatalf("oscillation too shallow: saw [%v, %v], want edges [%v, %v]", min, max, lo, hi)
+	}
+}
+
+func TestOscillateRatePanicsOnBadDepth(t *testing.T) {
+	for _, depth := range []float64{0, 1, -0.5, 1.5} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatalf("OscillateRate accepted depth %v", depth)
+				}
+			}()
+			OscillateRate(0, 10, depth, time.Second)
+		}()
+	}
+}
+
+func TestKillAtAndDegradeAt(t *testing.T) {
+	clock := sim.NewClock()
+	tg := newTestTarget(clock)
+	KillAt(0, 2*time.Second).Apply(clock, tg)
+	DegradeAt(0, 1*time.Second, Loss(0.3)).Apply(clock, tg)
+
+	var lossAt1500 float64
+	var downAt1500 bool
+	sample(clock, 1500*time.Millisecond, func() {
+		lossAt1500 = tg.link.Config().LossRate
+		downAt1500 = tg.link.Down()
+	})
+	if err := clock.RunUntil(sim.Time(3 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if lossAt1500 != 0.3 || downAt1500 {
+		t.Fatalf("at 1.5s: loss=%v down=%v, want 0.3/false", lossAt1500, downAt1500)
+	}
+	if !tg.link.Down() {
+		t.Fatal("link still up after KillAt time")
+	}
+}
+
+func TestScriptOnTwoPathTopologyHitsBothDirections(t *testing.T) {
+	clock := sim.NewClock()
+	tp := netem.NewTwoPath(clock, sim.NewRand(1), [2]netem.PathSpec{
+		{CapacityMbps: 10, RTT: 30 * time.Millisecond, QueueDelay: 100 * time.Millisecond},
+		{CapacityMbps: 10, RTT: 30 * time.Millisecond, QueueDelay: 100 * time.Millisecond},
+	})
+	DegradeAt(1, time.Second, Rate(3)).Apply(clock, tp)
+	if err := clock.RunUntil(sim.Time(2 * time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	if tp.Fwd[1].Config().RateMbps != 3 || tp.Rev[1].Config().RateMbps != 3 {
+		t.Fatalf("path 1 rates fwd=%v rev=%v, want 3/3",
+			tp.Fwd[1].Config().RateMbps, tp.Rev[1].Config().RateMbps)
+	}
+	if tp.Fwd[0].Config().RateMbps != 10 || tp.Rev[0].Config().RateMbps != 10 {
+		t.Fatal("path 0 touched by a path-1 script")
+	}
+}
+
+func TestEmptyScriptIsANoOp(t *testing.T) {
+	clock := sim.NewClock()
+	tg := newTestTarget(clock)
+	Script{}.Apply(clock, tg)
+	if clock.Pending() != 0 {
+		t.Fatal("empty script scheduled events")
+	}
+}

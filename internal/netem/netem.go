@@ -16,6 +16,7 @@ import (
 	"time"
 
 	"mpquic/internal/sim"
+	"mpquic/internal/trace"
 )
 
 // Addr identifies an interface endpoint, e.g. "10.0.1.1:443" or
@@ -73,11 +74,22 @@ const MTU = 1500
 
 // LinkStats counts per-link activity.
 type LinkStats struct {
-	SentPackets    uint64 // delivered to the far end
-	SentBytes      uint64
-	QueueDrops     uint64 // tail-drop (congestion) losses
-	RandomDrops    uint64 // Bernoulli (wire) losses
-	EnqueueduBytes uint64
+	SentPackets   uint64 // delivered to the far end
+	SentBytes     uint64
+	QueueDrops    uint64 // tail-drop (congestion) losses
+	RandomDrops   uint64 // random (wire) losses, whatever the loss model
+	EnqueuedBytes uint64
+}
+
+// LossModel decides the fate of each packet as it leaves the link's
+// serializer. Implementations are stateful (e.g. a two-state bursty
+// process) and must be deterministic given their own seeded PRNG; one
+// model instance serves exactly one link. A nil model on a link means
+// the built-in Bernoulli draw over LinkConfig.LossRate.
+type LossModel interface {
+	// Drop reports whether the packet of the given on-wire size is
+	// dropped. Called once per packet in transmission order.
+	Drop(size int) bool
 }
 
 // Link is one unidirectional emulated link.
@@ -94,6 +106,11 @@ type Link struct {
 	deliver    func(dg Datagram)
 	down       bool
 
+	lossModel  LossModel
+	jitter     time.Duration
+	jitterRand *sim.Rand
+	tracer     trace.Tracer
+
 	Stats LinkStats
 }
 
@@ -107,14 +124,19 @@ func NewLink(clock *sim.Clock, rand *sim.Rand, name string, cfg LinkConfig, deli
 		rand:    rand,
 		cfg:     cfg,
 		name:    name,
-		rateBps: cfg.RateMbps * 1e6 / 8,
 		deliver: deliver,
 	}
-	l.queueCap = int(l.rateBps * cfg.QueueDelay.Seconds())
+	l.derive()
+	return l
+}
+
+// derive recomputes the rate- and queue-capacity parameters from cfg.
+func (l *Link) derive() {
+	l.rateBps = l.cfg.RateMbps * 1e6 / 8
+	l.queueCap = int(l.rateBps * l.cfg.QueueDelay.Seconds())
 	if l.queueCap < 2*MTU {
 		l.queueCap = 2 * MTU
 	}
-	return l
 }
 
 // Config returns the link's configuration.
@@ -127,11 +149,100 @@ func (l *Link) Name() string { return l.name }
 func (l *Link) QueueCapacityBytes() int { return l.queueCap }
 
 // SetLossRate changes the random loss probability at runtime (used by
-// the handover scenario where a path becomes fully lossy mid-run).
-func (l *Link) SetLossRate(p float64) { l.cfg.LossRate = p }
+// scenarios where a path becomes lossy mid-run). It has no effect on a
+// link with an installed LossModel, which replaces the Bernoulli draw.
+func (l *Link) SetLossRate(p float64) {
+	l.cfg.LossRate = p
+	l.emitReconfigured()
+}
 
-// SetDown drops every subsequent packet when down is true.
-func (l *Link) SetDown(down bool) { l.down = down }
+// SetDown drops every subsequent packet when down is true. State
+// transitions emit link_down / link_up trace events.
+func (l *Link) SetDown(down bool) {
+	if down == l.down {
+		return
+	}
+	l.down = down
+	if l.tracer != nil {
+		typ := trace.LinkUp
+		if down {
+			typ = trace.LinkDown
+		}
+		l.tracer.Trace(trace.Event{Time: l.clock.Now().Duration(), Type: typ, Detail: l.name})
+	}
+}
+
+// Down reports whether the link is currently dropping every packet.
+func (l *Link) Down() bool { return l.down }
+
+// Reconfigure replaces the link's configuration at runtime,
+// re-deriving the serialization rate and the tail-drop queue capacity.
+// Packets already being serialized finish at the old rate; packets
+// queued behind them serialize at the new one. A queue that exceeds
+// the shrunk capacity is not truncated — it drains and then tail-drops
+// at the new bound, as a real qdisc change does.
+func (l *Link) Reconfigure(cfg LinkConfig) {
+	if cfg.RateMbps <= 0 {
+		panic(fmt.Sprintf("netem: reconfigure of link %s with non-positive rate", l.name))
+	}
+	l.cfg = cfg
+	l.derive()
+	l.emitReconfigured()
+}
+
+// SetRateMbps changes only the link capacity, re-deriving the queue
+// capacity from the unchanged QueueDelay bound.
+func (l *Link) SetRateMbps(rate float64) {
+	cfg := l.cfg
+	cfg.RateMbps = rate
+	l.Reconfigure(cfg)
+}
+
+// SetDelay changes only the one-way propagation delay. Packets already
+// propagating keep their old delay, so a large downward step can
+// reorder across the change, exactly as a route change can.
+func (l *Link) SetDelay(d time.Duration) {
+	cfg := l.cfg
+	cfg.Delay = d
+	l.Reconfigure(cfg)
+}
+
+// SetLossModel installs (or, with nil, removes) a pluggable loss
+// process, replacing the built-in Bernoulli draw over cfg.LossRate.
+func (l *Link) SetLossModel(m LossModel) {
+	l.lossModel = m
+	l.emitReconfigured()
+}
+
+// SetJitter adds a uniform per-packet propagation-delay jitter in
+// [0, j): each delivered packet draws an independent extra delay from
+// r, so closely spaced packets can arrive reordered. The jitter PRNG
+// is separate from the link's loss PRNG, keeping loss sequences
+// unchanged when jitter is toggled. j <= 0 disables jitter.
+func (l *Link) SetJitter(j time.Duration, r *sim.Rand) {
+	l.jitter = j
+	l.jitterRand = r
+	l.emitReconfigured()
+}
+
+// SetTracer attaches a tracer receiving the link's lifecycle events
+// (link_down, link_up, link_reconfigured). Nil detaches.
+func (l *Link) SetTracer(t trace.Tracer) { l.tracer = t }
+
+func (l *Link) emitReconfigured() {
+	if l.tracer == nil {
+		return
+	}
+	detail := fmt.Sprintf("%s rate=%gMbps delay=%v queue=%dB loss=%g",
+		l.name, l.cfg.RateMbps, l.cfg.Delay, l.queueCap, l.cfg.LossRate)
+	if l.lossModel != nil {
+		detail += " loss_model=custom"
+	}
+	if l.jitter > 0 {
+		detail += fmt.Sprintf(" jitter=%v", l.jitter)
+	}
+	l.tracer.Trace(trace.Event{Time: l.clock.Now().Duration(), Type: trace.LinkReconfigured, Detail: detail})
+}
 
 // Send enqueues dg. Drops (queue overflow, random loss, link down)
 // are silent, exactly as on a real wire.
@@ -148,7 +259,7 @@ func (l *Link) Send(dg Datagram) {
 		return
 	}
 	l.queueBytes += dg.Size
-	l.Stats.EnqueueduBytes += uint64(dg.Size)
+	l.Stats.EnqueuedBytes += uint64(dg.Size)
 
 	now := l.clock.Now()
 	start := l.busyUntil
@@ -163,13 +274,22 @@ func (l *Link) Send(dg Datagram) {
 		l.queueBytes -= dg.Size
 		// Random loss is applied as the packet leaves the serializer:
 		// it occupied queue space but never arrives.
-		if l.cfg.LossRate > 0 && l.rand.Bernoulli(l.cfg.LossRate) {
+		if l.lossModel != nil {
+			if l.lossModel.Drop(dg.Size) {
+				l.Stats.RandomDrops++
+				return
+			}
+		} else if l.cfg.LossRate > 0 && l.rand.Bernoulli(l.cfg.LossRate) {
 			l.Stats.RandomDrops++
 			return
 		}
 		l.Stats.SentPackets++
 		l.Stats.SentBytes += uint64(dg.Size)
-		l.clock.At(finish.Add(l.cfg.Delay), func() { l.deliver(dg) })
+		delay := l.cfg.Delay
+		if l.jitter > 0 && l.jitterRand != nil {
+			delay += time.Duration(l.jitterRand.Float64() * float64(l.jitter))
+		}
+		l.clock.At(l.clock.Now().Add(delay), func() { l.deliver(dg) })
 	})
 }
 

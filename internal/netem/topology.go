@@ -4,6 +4,7 @@ import (
 	"time"
 
 	"mpquic/internal/sim"
+	"mpquic/internal/trace"
 )
 
 // PathSpec describes one of the disjoint end-to-end paths of the
@@ -79,6 +80,21 @@ func (tp *TwoPathNet) KillPath(i int) {
 func (tp *TwoPathNet) SetPathLoss(i int, p float64) {
 	tp.Fwd[i].SetLossRate(p)
 	tp.Rev[i].SetLossRate(p)
+}
+
+// PathLinks returns both directions of path i (forward first) — the
+// hook dynamics scripts use to mutate a whole path.
+func (tp *TwoPathNet) PathLinks(i int) []*Link {
+	return []*Link{tp.Fwd[i], tp.Rev[i]}
+}
+
+// SetTracer attaches t to every link of the topology, so link
+// lifecycle events (down/up/reconfigured) appear in protocol traces.
+func (tp *TwoPathNet) SetTracer(t trace.Tracer) {
+	for i := 0; i < 2; i++ {
+		tp.Fwd[i].SetTracer(t)
+		tp.Rev[i].SetTracer(t)
+	}
 }
 
 // BDPBytes estimates the bandwidth-delay product of path i in bytes,

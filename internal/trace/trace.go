@@ -33,6 +33,16 @@ const (
 	ConnClosed     EventType = "connection_closed"
 )
 
+// Event types emitted by the network emulator (link lifecycle). These
+// explain dynamic scenarios: a link going down/up and runtime
+// reconfigurations (rate/delay/loss changes, loss-model or jitter
+// installation) appear in the trace alongside the protocol's reaction.
+const (
+	LinkDown         EventType = "link_down"
+	LinkUp           EventType = "link_up"
+	LinkReconfigured EventType = "link_reconfigured"
+)
+
 // Event is one trace record. Fields irrelevant to a given type are
 // zero.
 type Event struct {

@@ -6,6 +6,9 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
+echo "== go build"
+go build ./...
+
 echo "== gofmt"
 unformatted=$(gofmt -l .)
 if [ -n "$unformatted" ]; then
