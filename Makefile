@@ -1,6 +1,7 @@
-# Convenience targets; see scripts/check.sh for the pre-commit gate.
+# Convenience targets; see scripts/check.sh for the pre-commit gate and
+# scripts/bench.sh for the perf harness.
 
-.PHONY: build test bench check
+.PHONY: build test bench bench-smoke check
 
 build:
 	go build ./...
@@ -9,7 +10,10 @@ test:
 	go test ./...
 
 bench:
-	go test -bench=. -benchmem
+	sh scripts/bench.sh
+
+bench-smoke:
+	sh scripts/bench.sh -smoke
 
 check:
 	sh scripts/check.sh

@@ -16,11 +16,11 @@ func Example() {
 		Path1: mpquic.PathSpec{CapacityMbps: 10, RTT: 40 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
 		Seed:  1,
 	})
-	server := mpquic.Listen(net, mpquic.DefaultConfig())
-	mpquic.ServeGet(server)
-	client := mpquic.Dial(net, mpquic.DefaultConfig(), 42)
+	server := net.Listen(mpquic.DefaultConfig())
+	net.ServeGet(server)
+	client := net.Dial(mpquic.DefaultConfig(), 42)
 
-	res := mpquic.Download(net, client, 4<<20)
+	res, _ := net.Download(client, 4<<20)
 	fmt.Printf("downloaded %d MB over %d paths in %v\n",
 		res.Size>>20, len(client.Paths()), res.Elapsed().Round(10*time.Millisecond))
 	// Output:

@@ -19,11 +19,11 @@ func run(cfg mpquic.Config, pathSel int, size uint64) float64 {
 		spec0, spec1 = spec1, spec0 // single-path runs use path 0
 	}
 	net := mpquic.NewTwoPathNetwork(mpquic.TwoPathConfig{Path0: spec0, Path1: spec1, Seed: 7})
-	server := mpquic.Listen(net, cfg)
-	mpquic.ServeGet(server)
-	client := mpquic.Dial(net, cfg, 99)
-	res := mpquic.Download(net, client, size)
-	if res == nil {
+	server := net.Listen(cfg)
+	net.ServeGet(server)
+	client := net.Dial(cfg, 99)
+	res, err := net.Download(client, size)
+	if err != nil {
 		return 0
 	}
 	return res.GoodputBps()

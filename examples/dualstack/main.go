@@ -22,14 +22,14 @@ func main() {
 
 	serverCfg := mpquic.DefaultConfig()
 	serverCfg.AdvertiseAddresses = true // send ADD_ADDRESS after the handshake
-	server := mpquic.Listen(net, serverCfg)
-	mpquic.ServeGet(server)
+	server := net.Listen(serverCfg)
+	net.ServeGet(server)
 
 	// The client initially knows only the server's first address.
-	client := mpquic.DialPartial(net, mpquic.DefaultConfig(), 77)
-	res := mpquic.Download(net, client, 10<<20)
-	if res == nil {
-		fmt.Println("transfer did not complete")
+	client := net.DialPartial(mpquic.DefaultConfig(), 77)
+	res, err := net.Download(client, 10<<20)
+	if err != nil {
+		fmt.Println("transfer did not complete:", err)
 		return
 	}
 

@@ -20,11 +20,11 @@ func main() {
 		Path1: mpquic.PathSpec{CapacityMbps: 10, RTT: 25 * time.Millisecond, QueueDelay: 100 * time.Millisecond}, // good cellular
 		Seed:  3,
 	})
-	server := mpquic.Listen(net, mpquic.DefaultConfig())
-	mpquic.ServeEcho(server)
+	server := net.Listen(mpquic.DefaultConfig())
+	net.ServeEcho(server)
 
-	client := mpquic.Dial(net, mpquic.DefaultConfig(), 11)
-	train := mpquic.StartRequestTrain(net, client, 12*time.Second)
+	client := net.Dial(mpquic.DefaultConfig(), 11)
+	train := net.StartRequestTrain(client, 12*time.Second)
 
 	// The WiFi network fails at t = 3 s.
 	net.At(3*time.Second, func() { net.KillPath(0) })

@@ -20,13 +20,13 @@ func main() {
 		Seed:  1,
 	})
 
-	server := mpquic.Listen(net, mpquic.DefaultConfig())
-	mpquic.ServeGet(server)
+	server := net.Listen(mpquic.DefaultConfig())
+	net.ServeGet(server)
 
-	client := mpquic.Dial(net, mpquic.DefaultConfig(), 42)
-	res := mpquic.Download(net, client, 20<<20) // GET 20 MB
-	if res == nil {
-		fmt.Println("transfer did not complete")
+	client := net.Dial(mpquic.DefaultConfig(), 42)
+	res, err := net.Download(client, 20<<20) // GET 20 MB
+	if err != nil {
+		fmt.Println("transfer did not complete:", err)
 		return
 	}
 

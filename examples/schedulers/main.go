@@ -18,11 +18,11 @@ func run(sched mpquic.Config) time.Duration {
 		Path1: mpquic.PathSpec{CapacityMbps: 4, RTT: 120 * time.Millisecond, QueueDelay: 150 * time.Millisecond},
 		Seed:  9,
 	})
-	server := mpquic.Listen(net, sched)
-	mpquic.ServeGet(server)
-	client := mpquic.Dial(net, sched, 123)
-	res := mpquic.Download(net, client, 8<<20)
-	if res == nil {
+	server := net.Listen(sched)
+	net.ServeGet(server)
+	client := net.Dial(sched, 123)
+	res, err := net.Download(client, 8<<20)
+	if err != nil {
 		return 0
 	}
 	return res.Elapsed()

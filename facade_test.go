@@ -1,0 +1,83 @@
+package mpquic_test
+
+import (
+	"errors"
+	"testing"
+	"time"
+
+	"mpquic"
+)
+
+func twoPathSpec(seed uint64) mpquic.TwoPathConfig {
+	return mpquic.TwoPathConfig{
+		Path0: mpquic.PathSpec{CapacityMbps: 10, RTT: 30 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
+		Path1: mpquic.PathSpec{CapacityMbps: 10, RTT: 40 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
+		Seed:  seed,
+	}
+}
+
+// A transfer whose every path dies mid-run cannot finish: Download must
+// report that as ErrTimeout, not hang or return a zero result.
+func TestDownloadTimeoutOnKilledPaths(t *testing.T) {
+	net := mpquic.NewTwoPathNetwork(twoPathSpec(1))
+	server := net.Listen(mpquic.DefaultConfig())
+	net.ServeGet(server)
+	client := net.Dial(mpquic.DefaultConfig(), 42)
+
+	// Both paths fail one second into the transfer.
+	net.At(time.Second, func() {
+		net.KillPath(0)
+		net.KillPath(1)
+	})
+
+	_, err := net.DownloadWith(client, 64<<20, mpquic.DownloadOpts{Deadline: 30 * time.Second})
+	if !errors.Is(err, mpquic.ErrTimeout) {
+		t.Fatalf("Download on killed paths: err = %v, want ErrTimeout", err)
+	}
+}
+
+// The deprecated free-function facade must keep its nil-on-timeout
+// contract while it exists.
+func TestDeprecatedDownloadNilOnTimeout(t *testing.T) {
+	net := mpquic.NewTwoPathNetwork(twoPathSpec(1))
+	server := net.Listen(mpquic.DefaultConfig())
+	net.ServeGet(server)
+	client := net.Dial(mpquic.DefaultConfig(), 42)
+	net.At(time.Second, func() {
+		net.KillPath(0)
+		net.KillPath(1)
+	})
+	if res := mpquic.Download(net, client, 64<<20); res != nil {
+		t.Fatalf("deprecated Download = %+v, want nil on timeout", res)
+	}
+}
+
+// EventLimit must be honored and surfaced as an error from the clock.
+func TestEventLimitSurfacesError(t *testing.T) {
+	cfg := twoPathSpec(1)
+	cfg.EventLimit = 1000 // far too few events for a 4 MB transfer
+	net := mpquic.NewTwoPathNetwork(cfg)
+	server := net.Listen(mpquic.DefaultConfig())
+	net.ServeGet(server)
+	client := net.Dial(mpquic.DefaultConfig(), 42)
+	_, err := net.Download(client, 4<<20)
+	if err == nil || errors.Is(err, mpquic.ErrTimeout) {
+		t.Fatalf("Download with tiny EventLimit: err = %v, want event-limit error", err)
+	}
+}
+
+// Download with the default deadline completes and reports the same
+// transfer the deprecated facade did.
+func TestDownloadMethodCompletes(t *testing.T) {
+	net := mpquic.NewTwoPathNetwork(twoPathSpec(1))
+	server := net.Listen(mpquic.DefaultConfig())
+	net.ServeGet(server)
+	client := net.Dial(mpquic.DefaultConfig(), 42)
+	res, err := net.Download(client, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Size != 1<<20 || res.Elapsed() <= 0 {
+		t.Fatalf("unexpected result: %+v", res)
+	}
+}

@@ -372,10 +372,15 @@ func (c *Conn) HandleDatagram(dg netem.Datagram) {
 		if !hdr.Handshake {
 			sealer = c.sealRecv
 		}
-		pkt, err = wire.Decode(pl.b, largest, sealer)
+		pkt, err = wire.DecodeBorrowed(pl.b, largest, sealer)
 		if err != nil {
+			wire.PutPacketBuf(pl.b)
 			return
 		}
+		// Frames borrow pl.b; every payload-carrying frame is copied out
+		// by its handler before HandleDatagram returns, so the buffer
+		// can rejoin the encode pool afterwards.
+		defer wire.PutPacketBuf(pl.b)
 	default:
 		return
 	}

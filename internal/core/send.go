@@ -33,12 +33,19 @@ func (c *Conn) trySend() {
 
 func (c *Conn) sendPass() {
 	c.sendHandshake()
-	acked := make(map[wire.PathID]bool)
-	c.sendPathCtrl(acked)
-	c.sendData(acked)
+	var acked pathSet
+	c.sendPathCtrl(&acked)
+	c.sendData(&acked)
 	c.sendTailReinjection()
-	c.sendPureAcks(acked)
+	c.sendPureAcks(&acked)
 }
+
+// pathSet is an allocation-free set of path IDs, used as sendPass
+// scratch to record which paths already had an ACK bundled.
+type pathSet [4]uint64
+
+func (s *pathSet) add(id wire.PathID)      { s[id>>6] |= 1 << (id & 63) }
+func (s *pathSet) has(id wire.PathID) bool { return s[id>>6]&(1<<(id&63)) != 0 }
 
 // sendTailReinjection implements the TailReinjection extension: after
 // the scheduler pass, any path that still has congestion-window space
@@ -141,7 +148,7 @@ func reinjectableFrames(frames []wire.Frame) []wire.Frame {
 // critical (a WINDOW_UPDATE stuck behind a full window would deadlock
 // the transfer; a PATHS frame stuck on a failed path would defeat
 // §4.3's fast handover).
-func (c *Conn) sendPathCtrl(ackedOn map[wire.PathID]bool) {
+func (c *Conn) sendPathCtrl(ackedOn *pathSet) {
 	if !c.handshakeComplete {
 		return
 	}
@@ -158,7 +165,7 @@ func (c *Conn) sendPathCtrl(ackedOn map[wire.PathID]bool) {
 				if ack := p.ackMgr.BuildAck(now); ack != nil && ack.EncodedSize() <= budget {
 					frames = append(frames, ack)
 					budget -= ack.EncodedSize()
-					ackedOn[p.ID] = true
+					ackedOn.add(p.ID)
 				}
 			}
 			for len(p.ctrl) > 0 && p.ctrl[0].EncodedSize() <= budget {
@@ -213,7 +220,7 @@ func (c *Conn) sendHandshakePacket(p *Path, hs *wire.HandshakeFrame) {
 // sendData runs the scheduler loop, building packets until nothing is
 // pending or no path has window space, recording paths that had an
 // ACK bundled.
-func (c *Conn) sendData(ackedOn map[wire.PathID]bool) {
+func (c *Conn) sendData(ackedOn *pathSet) {
 	if !c.handshakeComplete {
 		return
 	}
@@ -288,14 +295,15 @@ func (c *Conn) hasSendableData() bool {
 // packFrames assembles the frame list for one packet on path p: the
 // path's pending ACK, path-pinned control frames, floating control
 // frames, then stream data under flow control.
-func (c *Conn) packFrames(p *Path, ackedOn map[wire.PathID]bool) (frames []wire.Frame, hasData bool) {
+func (c *Conn) packFrames(p *Path, ackedOn *pathSet) (frames []wire.Frame, hasData bool) {
 	budget := wire.MaxPacketSize - c.headerSize(p, false) - wire.AEADOverhead
 	now := c.now()
+	frames = make([]wire.Frame, 0, 4)
 	if p.ackMgr.ShouldSendAck(now) {
 		if ack := p.ackMgr.BuildAck(now); ack != nil && ack.EncodedSize() <= budget {
 			frames = append(frames, ack)
 			budget -= ack.EncodedSize()
-			ackedOn[p.ID] = true
+			ackedOn.add(p.ID)
 		}
 	}
 	// Path-pinned control frames (WINDOW_UPDATE broadcast copies,
@@ -341,11 +349,11 @@ func (c *Conn) packFrames(p *Path, ackedOn map[wire.PathID]bool) (frames []wire.
 // sendPureAcks emits ack-only packets for paths that still owe an ACK
 // after the data pass. Ack-only packets bypass the congestion window
 // and are not retransmittable.
-func (c *Conn) sendPureAcks(ackedOn map[wire.PathID]bool) {
+func (c *Conn) sendPureAcks(ackedOn *pathSet) {
 	now := c.now()
 	for _, pid := range c.pathOrder {
 		p := c.paths[pid]
-		if !p.open || ackedOn[p.ID] || !p.ackMgr.ShouldSendAck(now) {
+		if !p.open || ackedOn.has(p.ID) || !p.ackMgr.ShouldSendAck(now) {
 			continue
 		}
 		if ack := p.ackMgr.BuildAck(now); ack != nil {
@@ -410,7 +418,7 @@ func (c *Conn) sendPacket(p *Path, frames []wire.Frame, handshake, track bool) {
 		if !handshake {
 			sealer = c.sealSend
 		}
-		payload = rawPayload{b: pkt.Encode(sealer)}
+		payload = rawPayload{b: pkt.EncodeTo(wire.GetPacketBuf(), sealer)}
 	}
 	c.net.Send(netem.Datagram{From: p.Local, To: p.Remote, Size: size, Payload: payload})
 }

@@ -111,7 +111,77 @@ type Link struct {
 	jitterRand *sim.Rand
 	tracer     trace.Tracer
 
+	free []*linkPkt // recycled in-flight packet records
+
 	Stats LinkStats
+}
+
+// linkPkt carries one datagram through the link's two-stage pipeline
+// (serializer finish, then delivery after propagation) without
+// allocating per-packet closures: the finish/deliver callbacks are
+// bound once when the record is created and the record is recycled
+// after delivery or drop.
+type linkPkt struct {
+	l         *Link
+	dg        Datagram
+	finishFn  func()
+	deliverFn func()
+}
+
+func (l *Link) getPkt(dg Datagram) *linkPkt {
+	if n := len(l.free); n > 0 {
+		p := l.free[n-1]
+		l.free[n-1] = nil
+		l.free = l.free[:n-1]
+		p.dg = dg
+		return p
+	}
+	p := &linkPkt{l: l, dg: dg}
+	p.finishFn = p.finish
+	p.deliverFn = p.deliverNow
+	return p
+}
+
+func (l *Link) putPkt(p *linkPkt) {
+	p.dg = Datagram{} // drop the payload reference
+	l.free = append(l.free, p)
+}
+
+// finish runs when the packet leaves the serializer: free its queue
+// space, apply random loss, then schedule delivery after propagation.
+func (p *linkPkt) finish() {
+	l := p.l
+	l.queueBytes -= p.dg.Size
+	// Random loss is applied as the packet leaves the serializer: it
+	// occupied queue space but never arrives.
+	if l.lossModel != nil {
+		if l.lossModel.Drop(p.dg.Size) {
+			l.Stats.RandomDrops++
+			l.putPkt(p)
+			return
+		}
+	} else if l.cfg.LossRate > 0 && l.rand.Bernoulli(l.cfg.LossRate) {
+		l.Stats.RandomDrops++
+		l.putPkt(p)
+		return
+	}
+	l.Stats.SentPackets++
+	l.Stats.SentBytes += uint64(p.dg.Size)
+	delay := l.cfg.Delay
+	if l.jitter > 0 && l.jitterRand != nil {
+		delay += time.Duration(l.jitterRand.Float64() * float64(l.jitter))
+	}
+	l.clock.At(l.clock.Now().Add(delay), p.deliverFn)
+}
+
+// deliverNow hands the datagram to the sink. The record is recycled
+// first (the datagram is copied out), so a sink that synchronously
+// sends on the same link can reuse it.
+func (p *linkPkt) deliverNow() {
+	l := p.l
+	dg := p.dg
+	l.putPkt(p)
+	l.deliver(dg)
 }
 
 // NewLink builds a link delivering to the given sink.
@@ -270,27 +340,7 @@ func (l *Link) Send(dg Datagram) {
 	finish := start.Add(txTime)
 	l.busyUntil = finish
 
-	l.clock.At(finish, func() {
-		l.queueBytes -= dg.Size
-		// Random loss is applied as the packet leaves the serializer:
-		// it occupied queue space but never arrives.
-		if l.lossModel != nil {
-			if l.lossModel.Drop(dg.Size) {
-				l.Stats.RandomDrops++
-				return
-			}
-		} else if l.cfg.LossRate > 0 && l.rand.Bernoulli(l.cfg.LossRate) {
-			l.Stats.RandomDrops++
-			return
-		}
-		l.Stats.SentPackets++
-		l.Stats.SentBytes += uint64(dg.Size)
-		delay := l.cfg.Delay
-		if l.jitter > 0 && l.jitterRand != nil {
-			delay += time.Duration(l.jitterRand.Float64() * float64(l.jitter))
-		}
-		l.clock.At(l.clock.Now().Add(delay), func() { l.deliver(dg) })
-	})
+	l.clock.At(finish, l.getPkt(dg).finishFn)
 }
 
 // QueueBytes reports the current queue occupancy.

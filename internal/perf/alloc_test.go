@@ -1,0 +1,63 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"mpquic/internal/sim"
+	"mpquic/internal/wire"
+)
+
+// Allocation budgets for the per-packet hot paths. These pin the wins
+// of the allocation diet: a regression that re-introduces per-packet
+// garbage fails here long before it shows up in grid wall-clock time.
+
+func TestPacketEncodeAllocFree(t *testing.T) {
+	pkt := SamplePacket(make([]byte, SamplePayloadLen()))
+	allocs := testing.AllocsPerRun(100, func() {
+		buf := pkt.EncodeTo(wire.GetPacketBuf(), nil)
+		wire.PutPacketBuf(buf)
+	})
+	if allocs > 0 {
+		t.Errorf("pooled encode allocates %.1f/op, want 0", allocs)
+	}
+}
+
+func TestPacketDecodeAllocBudget(t *testing.T) {
+	pkt := SamplePacket(make([]byte, SamplePayloadLen()))
+	enc := pkt.Encode(nil)
+	// Borrow-mode decode still allocates the Packet, the frame structs
+	// and the pre-sized Frames/Ranges slices — but no payload copies.
+	const budget = 6
+	allocs := testing.AllocsPerRun(100, func() {
+		if _, err := wire.DecodeBorrowed(enc, 9_999, nil); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > budget {
+		t.Errorf("borrowed decode allocates %.1f/op, budget %d", allocs, budget)
+	}
+}
+
+func TestClockScheduleRunAllocFree(t *testing.T) {
+	c := sim.NewClock()
+	fn := func() {}
+	// Warm the event free list and the heap backing array.
+	for j := 0; j < 64; j++ {
+		c.After(time.Duration(j%8)*time.Microsecond, fn)
+	}
+	if err := c.Run(); err != nil {
+		t.Fatal(err)
+	}
+	allocs := testing.AllocsPerRun(100, func() {
+		for j := 0; j < 64; j++ {
+			c.After(time.Duration(j%8)*time.Microsecond, fn)
+		}
+		if err := c.Run(); err != nil {
+			t.Fatal(err)
+		}
+	})
+	if allocs > 0 {
+		t.Errorf("steady-state Clock.At+Run allocates %.1f/op, want 0", allocs)
+	}
+}

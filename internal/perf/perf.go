@@ -1,0 +1,61 @@
+// Package perf is the repository's performance harness: micro
+// benchmarks for the per-packet hot paths (sim event loop, wire
+// encode/decode, netem link transit) and a macro benchmark that grinds
+// the smoke scenario grid and reports scenarios per second.
+//
+// scripts/bench.sh runs the harness and records the numbers in a
+// BENCH_*.json trajectory file, so every PR can compare its hot-path
+// cost against the previous one:
+//
+//	go test -bench=. -benchmem ./internal/perf   # micro benches
+//	scripts/bench.sh                             # full harness + JSON
+//	scripts/bench.sh -smoke                      # CI-sized subset
+//
+// The fixtures below are shared between the benchmarks and the
+// allocation-budget tests in the wire and sim packages, so the
+// budgeted operation is exactly the benchmarked one.
+package perf
+
+import (
+	"time"
+
+	"mpquic/internal/wire"
+)
+
+// SamplePacket builds a representative data packet: an ACK with a few
+// ranges (loss recovery in progress), a WINDOW_UPDATE, and a full-MTU
+// stream frame — the shape the send path emits while a transfer is in
+// flight.
+func SamplePacket(data []byte) *wire.Packet {
+	return &wire.Packet{
+		Header: wire.Header{
+			ConnID:       0x1234_5678_9abc_def0,
+			Multipath:    true,
+			PathID:       1,
+			PacketNumber: 10_000,
+		},
+		LargestAcked: 9_950,
+		Frames: []wire.Frame{
+			&wire.AckFrame{
+				PathID: 1,
+				Ranges: []wire.AckRange{
+					{Smallest: 9_990, Largest: 10_012},
+					{Smallest: 9_970, Largest: 9_985},
+					{Smallest: 9_000, Largest: 9_967},
+				},
+				AckDelay: 3 * time.Millisecond,
+			},
+			&wire.WindowUpdateFrame{StreamID: 3, Offset: 1 << 24},
+			&wire.StreamFrame{StreamID: 3, Offset: 1 << 20, Data: data},
+		},
+	}
+}
+
+// SamplePayloadLen sizes SamplePacket's stream data so the whole
+// packet lands at wire.MaxPacketSize, like a cwnd-limited sender's.
+func SamplePayloadLen() int {
+	probe := SamplePacket(nil)
+	overhead := probe.EncodedSize()
+	sf := probe.Frames[len(probe.Frames)-1].(*wire.StreamFrame)
+	return sf.MaxStreamDataLen(wire.MaxPacketSize - (overhead - sf.EncodedSize()))
+}

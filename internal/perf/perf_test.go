@@ -1,0 +1,176 @@
+package perf
+
+import (
+	"testing"
+	"time"
+
+	"mpquic/internal/core"
+	"mpquic/internal/expdesign"
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+	"mpquic/internal/wire"
+)
+
+// --- wire micro benchmarks ---
+
+// BenchmarkPacketEncode measures the send hot path: serialize into a
+// pooled buffer (core's WireSerialization mode does exactly this).
+func BenchmarkPacketEncode(b *testing.B) {
+	pkt := SamplePacket(make([]byte, SamplePayloadLen()))
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		buf := pkt.EncodeTo(wire.GetPacketBuf(), nil)
+		wire.PutPacketBuf(buf)
+	}
+}
+
+// BenchmarkPacketDecode measures the receive hot path: borrow-mode
+// parse, frames aliasing the datagram buffer.
+func BenchmarkPacketDecode(b *testing.B) {
+	pkt := SamplePacket(make([]byte, SamplePayloadLen()))
+	enc := pkt.Encode(nil)
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p, err := wire.DecodeBorrowed(enc, 9_999, nil)
+		if err != nil {
+			b.Fatal(err)
+		}
+		_ = p
+	}
+}
+
+// --- sim micro benchmarks ---
+
+// BenchmarkClockScheduleRun measures the steady-state event-loop cost
+// per event: one long-lived clock (as every simulation has) scheduling
+// and dispatching bursts of staggered future deadlines, the shape the
+// netem serializer produces.
+func BenchmarkClockScheduleRun(b *testing.B) {
+	fn := func() {}
+	c := sim.NewClock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 512; j++ {
+			c.After(time.Duration(j%64)*time.Microsecond, fn)
+		}
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkClockSameTimeFIFO measures the same-deadline fast path:
+// bursts of events all due "now", the shape trySend cascades produce.
+func BenchmarkClockSameTimeFIFO(b *testing.B) {
+	fn := func() {}
+	c := sim.NewClock()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for j := 0; j < 512; j++ {
+			c.After(0, fn)
+		}
+		if err := c.Run(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- netem micro benchmark ---
+
+type benchPayload int
+
+func (p benchPayload) WireSize() int { return int(p) }
+
+// BenchmarkLinkTransit pushes packets through one emulated link,
+// measuring the full serialize+propagate event chain per packet.
+func BenchmarkLinkTransit(b *testing.B) {
+	clock := sim.NewClock()
+	delivered := 0
+	link := netem.NewLink(clock, sim.NewRand(1), "bench",
+		netem.LinkConfig{RateMbps: 1000, Delay: time.Millisecond, QueueDelay: time.Second},
+		func(dg netem.Datagram) { delivered++ })
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		delivered = 0
+		for j := 0; j < 256; j++ {
+			link.Send(netem.Datagram{From: "a", To: "b", Size: 1378, Payload: benchPayload(1350)})
+			if err := clock.RunUntil(clock.Now().Add(12 * time.Microsecond)); err != nil {
+				b.Fatal(err)
+			}
+		}
+		if err := clock.Run(); err != nil {
+			b.Fatal(err)
+		}
+		if delivered != 256 {
+			b.Fatalf("delivered %d/256", delivered)
+		}
+	}
+}
+
+// --- macro benchmark: smoke grid ---
+
+// SmokeGridConfig is the fixed workload scripts/bench.sh times: a
+// small but representative slice of the paper grid (all four stacks,
+// both start paths).
+func smokeGridConfig() expdesign.GridConfig {
+	return expdesign.GridConfig{
+		Class:     expdesign.LowBDPNoLoss,
+		Scenarios: 6,
+		Size:      4 << 20,
+		Reps:      1,
+	}
+}
+
+// BenchmarkSmokeGrid runs the smoke grid once per iteration and
+// reports scenarios/sec — the number every later PR compares against.
+// Run with -benchtime=1x (scripts/bench.sh does).
+func BenchmarkSmokeGrid(b *testing.B) {
+	cfg := smokeGridConfig()
+	b.ReportAllocs()
+	b.ResetTimer()
+	start := time.Now()
+	for i := 0; i < b.N; i++ {
+		fd, err := expdesign.RunGrid(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(fd.Results) != cfg.Scenarios {
+			b.Fatalf("ran %d scenarios, want %d", len(fd.Results), cfg.Scenarios)
+		}
+	}
+	elapsed := time.Since(start).Seconds()
+	b.ReportMetric(float64(b.N*cfg.Scenarios)/elapsed, "scenarios/sec")
+}
+
+// BenchmarkWireModeTransfer runs one full MPQUIC download with
+// WireSerialization on, exercising the pooled encode/decode path end
+// to end (the struct-mode grids skip it).
+func BenchmarkWireModeTransfer(b *testing.B) {
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		sc := expdesign.Scenario{
+			Class: "perf",
+			Paths: [2]netem.PathSpec{
+				{CapacityMbps: 20, RTT: 20 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
+				{CapacityMbps: 10, RTT: 40 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
+			},
+		}
+		cfg := coreDefaultWireConfig()
+		res := expdesign.RunMPQUICVariant(sc, cfg, 4<<20, 0, 7)
+		if !res.Completed {
+			b.Fatal("wire-mode transfer did not complete")
+		}
+	}
+}
+
+func coreDefaultWireConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.WireSerialization = true
+	return cfg
+}

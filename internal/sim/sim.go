@@ -6,10 +6,15 @@
 // ever sleeps, so a multi-second emulated transfer completes in
 // microseconds of wall time and every run with the same seed is
 // bit-for-bit reproducible.
+//
+// The loop is allocation-free in steady state: executed events return to
+// a per-clock free list, the heap is a concrete []*Event with inlined
+// sift-up/sift-down (no container/heap interface dispatch), and events
+// scheduled for the current instant bypass the heap through a FIFO
+// append-only queue.
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
 	"time"
@@ -37,58 +42,52 @@ func (t Time) String() string { return time.Duration(t).String() }
 const Never = Time(math.MaxInt64)
 
 // Event is a unit of scheduled work.
+//
+// Events are pooled: once an event has executed (or has been discarded
+// after cancellation) the Clock recycles its storage for a future At.
+// An *Event handle is therefore only valid until the event fires;
+// Cancel, Cancelled and At must not be called on a handle whose event
+// already ran. Timer follows this discipline (it drops its handle when
+// the timer fires) and is the safe way to hold re-armable deadlines.
 type Event struct {
 	at   Time
 	seq  uint64 // tie-break: FIFO among events with equal deadlines
 	fn   func()
 	dead bool // cancelled
-	idx  int  // heap index, -1 when popped
 }
 
 // At reports the deadline of the event.
 func (e *Event) At() Time { return e.at }
 
-// Cancel prevents the event from running. Cancelling an already-executed
-// or already-cancelled event is a no-op.
+// Cancel prevents the event from running. Cancelling an already-cancelled
+// pending event is a no-op; see the pooling note on Event for handles to
+// already-executed events.
 func (e *Event) Cancel() { e.dead = true }
 
 // Cancelled reports whether Cancel was called.
 func (e *Event) Cancelled() bool { return e.dead }
 
-type eventHeap []*Event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
+// eventLess orders events by (deadline, scheduling sequence): FIFO among
+// equal deadlines.
+func eventLess(a, b *Event) bool {
+	if a.at != b.at {
+		return a.at < b.at
 	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int) {
-	h[i], h[j] = h[j], h[i]
-	h[i].idx = i
-	h[j].idx = j
-}
-func (h *eventHeap) Push(x any) {
-	e := x.(*Event)
-	e.idx = len(*h)
-	*h = append(*h, e)
-}
-func (h *eventHeap) Pop() any {
-	old := *h
-	n := len(old)
-	e := old[n-1]
-	old[n-1] = nil
-	e.idx = -1
-	*h = old[:n-1]
-	return e
+	return a.seq < b.seq
 }
 
 // Clock is the simulation event loop. It is not safe for concurrent use;
 // the whole simulation is single-threaded by design (determinism).
 type Clock struct {
-	now     Time
-	heap    eventHeap
+	now  Time
+	heap []*Event // binary min-heap by (at, seq)
+	// nowQ holds events scheduled for the instant they were created at.
+	// Because virtual time is monotonic and seq increases, the queue is
+	// always sorted by (at, seq): popping the head interleaves correctly
+	// with the heap without any sifting.
+	nowQ    []*Event
+	nowHead int
+	free    []*Event // recycled Event storage
 	seq     uint64
 	running bool
 	stopped bool
@@ -106,16 +105,41 @@ func NewClock() *Clock { return &Clock{} }
 // Now reports the current virtual time.
 func (c *Clock) Now() Time { return c.now }
 
+// alloc takes an Event from the free list (or the heap's allocator).
+func (c *Clock) alloc(at Time, fn func()) *Event {
+	var e *Event
+	if n := len(c.free); n > 0 {
+		e = c.free[n-1]
+		c.free[n-1] = nil
+		c.free = c.free[:n-1]
+		e.at, e.fn, e.dead = at, fn, false
+	} else {
+		e = &Event{at: at, fn: fn}
+	}
+	e.seq = c.seq
+	c.seq++
+	return e
+}
+
+// release returns an executed or discarded event to the free list,
+// dropping its closure so captured state is collectable.
+func (c *Clock) release(e *Event) {
+	e.fn = nil
+	c.free = append(c.free, e)
+}
+
 // At schedules fn to run at the absolute virtual time at. Scheduling in
 // the past (at < Now) is an error in the caller; the event is clamped to
 // run "now" to keep the loop monotonic.
 func (c *Clock) At(at Time, fn func()) *Event {
-	if at < c.now {
-		at = c.now
+	if at <= c.now {
+		// Same-instant fast path: append to the FIFO queue, no sifting.
+		e := c.alloc(c.now, fn)
+		c.nowQ = append(c.nowQ, e)
+		return e
 	}
-	e := &Event{at: at, seq: c.seq, fn: fn}
-	c.seq++
-	heap.Push(&c.heap, e)
+	e := c.alloc(at, fn)
+	c.heapPush(e)
 	return e
 }
 
@@ -131,33 +155,149 @@ func (c *Clock) After(d time.Duration, fn func()) *Event {
 func (c *Clock) Stop() { c.stopped = true }
 
 // Pending reports the number of scheduled (possibly cancelled) events.
-func (c *Clock) Pending() int { return len(c.heap) }
+func (c *Clock) Pending() int { return len(c.heap) + len(c.nowQ) - c.nowHead }
+
+// --- inlined binary heap on []*Event ---
+
+func (c *Clock) heapPush(e *Event) {
+	c.heap = append(c.heap, e)
+	// Sift up.
+	h := c.heap
+	i := len(h) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !eventLess(e, h[parent]) {
+			break
+		}
+		h[i] = h[parent]
+		i = parent
+	}
+	h[i] = e
+}
+
+// heapPop removes and returns the heap minimum. The caller guarantees
+// the heap is non-empty.
+func (c *Clock) heapPop() *Event {
+	h := c.heap
+	top := h[0]
+	n := len(h) - 1
+	e := h[n]
+	h[n] = nil
+	c.heap = h[:n]
+	if n == 0 {
+		return top
+	}
+	// Sift e down from the root.
+	h = c.heap
+	i := 0
+	for {
+		child := 2*i + 1
+		if child >= n {
+			break
+		}
+		if r := child + 1; r < n && eventLess(h[r], h[child]) {
+			child = r
+		}
+		if !eventLess(h[child], e) {
+			break
+		}
+		h[i] = h[child]
+		i = child
+	}
+	h[i] = e
+	return top
+}
+
+// peek returns the earliest scheduled event (possibly cancelled) without
+// removing it, or nil.
+func (c *Clock) peek() *Event {
+	var qn *Event
+	if c.nowHead < len(c.nowQ) {
+		qn = c.nowQ[c.nowHead]
+	}
+	if len(c.heap) == 0 {
+		return qn
+	}
+	hn := c.heap[0]
+	if qn == nil || eventLess(hn, qn) {
+		return hn
+	}
+	return qn
+}
+
+// popNext removes and returns the earliest live event with deadline <=
+// deadline, or nil. Cancelled events encountered on the way are
+// discarded and recycled.
+func (c *Clock) popNext(deadline Time) *Event {
+	for {
+		var qn *Event
+		if c.nowHead < len(c.nowQ) {
+			qn = c.nowQ[c.nowHead]
+		}
+		var e *Event
+		if hn := (*Event)(nil); len(c.heap) > 0 {
+			hn = c.heap[0]
+			if qn == nil || eventLess(hn, qn) {
+				if hn.at > deadline {
+					return nil
+				}
+				e = c.heapPop()
+			}
+		}
+		if e == nil {
+			if qn == nil || qn.at > deadline {
+				return nil
+			}
+			c.nowQ[c.nowHead] = nil
+			c.nowHead++
+			if c.nowHead == len(c.nowQ) {
+				c.nowQ = c.nowQ[:0]
+				c.nowHead = 0
+			}
+			e = qn
+		}
+		if e.dead {
+			c.release(e)
+			continue
+		}
+		return e
+	}
+}
 
 // NextDeadline reports the deadline of the earliest live event, or Never.
 func (c *Clock) NextDeadline() Time {
-	for len(c.heap) > 0 {
-		if c.heap[0].dead {
-			heap.Pop(&c.heap)
-			continue
+	for {
+		e := c.peek()
+		if e == nil {
+			return Never
 		}
-		return c.heap[0].at
+		if !e.dead {
+			return e.at
+		}
+		// Discard the cancelled head and keep looking.
+		if c.nowHead < len(c.nowQ) && c.nowQ[c.nowHead] == e {
+			c.nowQ[c.nowHead] = nil
+			c.nowHead++
+			if c.nowHead == len(c.nowQ) {
+				c.nowQ = c.nowQ[:0]
+				c.nowHead = 0
+			}
+		} else {
+			c.heapPop()
+		}
+		c.release(e)
 	}
-	return Never
 }
 
-// Run executes events in deadline order until the heap drains, Stop is
-// called, or the event limit is exceeded.
-func (c *Clock) Run() error {
-	if c.running {
-		return fmt.Errorf("sim: Run re-entered")
-	}
-	c.running = true
+// run is the shared loop of Run and RunUntil: execute live events in
+// (deadline, FIFO) order while their deadline is <= deadline.
+func (c *Clock) run(deadline Time) error {
 	c.stopped = false
 	defer func() { c.running = false }()
-	for len(c.heap) > 0 && !c.stopped {
-		e := heap.Pop(&c.heap).(*Event)
-		if e.dead {
-			continue
+	for !c.stopped {
+		e := c.popNext(deadline)
+		if e == nil {
+			return nil
 		}
 		if e.at < c.now {
 			return fmt.Errorf("sim: time went backwards: %v -> %v", c.now, e.at)
@@ -165,11 +305,23 @@ func (c *Clock) Run() error {
 		c.now = e.at
 		c.Processed++
 		if c.Limit > 0 && c.Processed > c.Limit {
+			c.release(e)
 			return fmt.Errorf("sim: event limit %d exceeded at t=%v", c.Limit, c.now)
 		}
 		e.fn()
+		c.release(e)
 	}
 	return nil
+}
+
+// Run executes events in deadline order until the queue drains, Stop is
+// called, or the event limit is exceeded.
+func (c *Clock) Run() error {
+	if c.running {
+		return fmt.Errorf("sim: Run re-entered")
+	}
+	c.running = true
+	return c.run(Never)
 }
 
 // RunUntil executes events with deadlines <= deadline, then advances the
@@ -179,28 +331,11 @@ func (c *Clock) RunUntil(deadline Time) error {
 		return fmt.Errorf("sim: RunUntil re-entered")
 	}
 	c.running = true
-	c.stopped = false
-	defer func() { c.running = false }()
-	for len(c.heap) > 0 && !c.stopped {
-		if c.heap[0].dead {
-			heap.Pop(&c.heap)
-			continue
-		}
-		if c.heap[0].at > deadline {
-			break
-		}
-		e := heap.Pop(&c.heap).(*Event)
-		c.now = e.at
-		c.Processed++
-		if c.Limit > 0 && c.Processed > c.Limit {
-			return fmt.Errorf("sim: event limit %d exceeded at t=%v", c.Limit, c.now)
-		}
-		e.fn()
-	}
-	if c.now < deadline {
+	err := c.run(deadline)
+	if err == nil && c.now < deadline {
 		c.now = deadline
 	}
-	return nil
+	return err
 }
 
 // Timer is a re-armable single-shot timer bound to a Clock, analogous to

@@ -132,6 +132,9 @@ func buildSACK(ivs []stream.Interval, cumAck uint64) []SACKBlock {
 		if start < cumAck {
 			start = cumAck
 		}
+		if blocks == nil {
+			blocks = make([]SACKBlock, 0, MaxSACKBlocks)
+		}
 		blocks = append(blocks, SACKBlock{Start: start, End: ivs[i].End})
 	}
 	return blocks

@@ -148,6 +148,7 @@ func parseAckFrame(b []byte) (Frame, int, error) {
 		return nil, 0, fmt.Errorf("wire: ACK first range underflows")
 	}
 	cur := AckRange{Smallest: PacketNumber(largest - firstLen), Largest: PacketNumber(largest)}
+	f.Ranges = make([]AckRange, 0, extra+1)
 	f.Ranges = append(f.Ranges, cur)
 	for i := uint64(0); i < extra; i++ {
 		gap, n, err := ConsumeVarint(b[off:])

@@ -268,15 +268,21 @@ func (f *HandshakeFrame) Append(b []byte) []byte {
 }
 
 // ParseFrame decodes the frame at the front of b, returning it and the
-// bytes consumed.
+// bytes consumed. Payload-carrying frames copy their bytes out of b.
 func ParseFrame(b []byte) (Frame, int, error) {
+	return parseFrame(b, false)
+}
+
+// parseFrame decodes one frame. With borrow set, STREAM and HANDSHAKE
+// payloads alias b (see DecodeBorrowed).
+func parseFrame(b []byte, borrow bool) (Frame, int, error) {
 	if len(b) == 0 {
 		return nil, 0, ErrTruncated
 	}
 	t := b[0]
 	switch {
 	case t&byte(TypeStream) != 0:
-		return parseStreamFrame(b)
+		return parseStreamFrame(b, borrow)
 	case t&byte(TypeAck) != 0:
 		return parseAckFrame(b)
 	}
@@ -383,15 +389,18 @@ func ParseFrame(b []byte) (Frame, int, error) {
 			return nil, 0, frameErr("HANDSHAKE", err)
 		}
 		off += n
-		payload := make([]byte, len(p))
-		copy(payload, p)
+		payload := p
+		if !borrow {
+			payload = make([]byte, len(p))
+			copy(payload, p)
+		}
 		return &HandshakeFrame{Message: HandshakeMessageType(b[1]), Payload: payload}, off, nil
 	default:
 		return nil, 0, fmt.Errorf("wire: unknown frame type %#x", t)
 	}
 }
 
-func parseStreamFrame(b []byte) (Frame, int, error) {
+func parseStreamFrame(b []byte, borrow bool) (Frame, int, error) {
 	fin := b[0]&0x01 != 0
 	off := 1
 	sid, n, err := ConsumeVarint(b[off:])
@@ -414,7 +423,10 @@ func parseStreamFrame(b []byte) (Frame, int, error) {
 		return nil, 0, frameErr("STREAM", err)
 	}
 	off += n
-	cp := make([]byte, len(data))
-	copy(cp, data)
-	return &StreamFrame{StreamID: StreamID(sid), Offset: offset, Data: cp, Fin: fin}, off, nil
+	if !borrow {
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		data = cp
+	}
+	return &StreamFrame{StreamID: StreamID(sid), Offset: offset, Data: data, Fin: fin}, off, nil
 }

@@ -74,13 +74,22 @@ type Sealer interface {
 	Open(path PathID, pn PacketNumber, header, ciphertext []byte) ([]byte, error)
 }
 
-// Encode serializes the packet. A nil sealer leaves the payload in
-// cleartext but still appends AEADOverhead filler bytes on protected
-// packets so sizes stay identical in both modes.
+// Encode serializes the packet into a freshly allocated buffer. A nil
+// sealer leaves the payload in cleartext but still appends AEADOverhead
+// filler bytes on protected packets so sizes stay identical in both
+// modes. Hot paths should prefer EncodeTo with a pooled buffer from
+// GetPacketBuf.
 func (p *Packet) Encode(sealer Sealer) []byte {
-	buf := make([]byte, 0, p.EncodedSize())
+	return p.EncodeTo(make([]byte, 0, p.EncodedSize()), sealer)
+}
+
+// EncodeTo appends the serialized packet to buf and returns the
+// extended buffer, allocating only if buf lacks capacity. Pair with
+// GetPacketBuf/PutPacketBuf for an allocation-free encode path.
+func (p *Packet) EncodeTo(buf []byte, sealer Sealer) []byte {
+	start := len(buf)
 	buf = p.Header.Append(buf, p.LargestAcked)
-	hdrLen := len(buf)
+	hdrEnd := len(buf)
 	for _, f := range p.Frames {
 		buf = f.Append(buf)
 	}
@@ -93,20 +102,35 @@ func (p *Packet) Encode(sealer Sealer) []byte {
 		}
 		return buf
 	}
-	sealed := sealer.Seal(p.Header.PathID, p.Header.PacketNumber, buf[:hdrLen], buf[hdrLen:])
-	return append(buf[:hdrLen], sealed...)
+	sealed := sealer.Seal(p.Header.PathID, p.Header.PacketNumber, buf[start:hdrEnd], buf[hdrEnd:])
+	return append(buf[:hdrEnd], sealed...)
 }
 
 // Decode parses a serialized packet. largestReceived expands the
 // truncated packet number (pass InvalidPacketNumber on fresh paths). A
 // nil sealer expects the cleartext-with-filler format Encode(nil)
-// produces.
+// produces. Parsed frames own their payload bytes: b may be reused
+// freely after Decode returns.
 func Decode(b []byte, largestReceived PacketNumber, sealer Sealer) (*Packet, error) {
+	return decode(b, largestReceived, sealer, false)
+}
+
+// DecodeBorrowed parses like Decode, but STREAM and HANDSHAKE frame
+// payloads alias b instead of being copied. The caller must fully
+// consume the frames (or copy what it keeps) before reusing or pooling
+// b. This is the receive hot path: the stream layer copies data into
+// its reassembly buffer immediately, so the borrow never outlives the
+// datagram delivery.
+func DecodeBorrowed(b []byte, largestReceived PacketNumber, sealer Sealer) (*Packet, error) {
+	return decode(b, largestReceived, sealer, true)
+}
+
+func decode(b []byte, largestReceived PacketNumber, sealer Sealer, borrow bool) (*Packet, error) {
 	hdr, hdrLen, err := ParseHeader(b, largestReceived)
 	if err != nil {
 		return nil, err
 	}
-	p := &Packet{Header: hdr}
+	p := &Packet{Header: hdr, Frames: make([]Frame, 0, 4)}
 	payload := b[hdrLen:]
 	if !hdr.Handshake {
 		if sealer != nil {
@@ -122,7 +146,7 @@ func Decode(b []byte, largestReceived PacketNumber, sealer Sealer) (*Packet, err
 		}
 	}
 	for len(payload) > 0 {
-		f, n, err := ParseFrame(payload)
+		f, n, err := parseFrame(payload, borrow)
 		if err != nil {
 			return nil, err
 		}

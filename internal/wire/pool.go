@@ -1,0 +1,33 @@
+package wire
+
+import "sync"
+
+// packetBufCap is the capacity of pooled encode buffers: one full
+// Ethernet MTU, comfortably above MaxPacketSize.
+const packetBufCap = 1500
+
+// packetBufPool recycles encode buffers as fixed-size array pointers so
+// both Get and Put are allocation-free (a *[N]byte fits in an interface
+// without boxing).
+var packetBufPool = sync.Pool{
+	New: func() any { return new([packetBufCap]byte) },
+}
+
+// GetPacketBuf returns an empty buffer with capacity for a full packet,
+// recycled from the pool. Encode into it with Packet.EncodeTo and hand
+// it back with PutPacketBuf once the bytes are no longer referenced.
+func GetPacketBuf() []byte {
+	return packetBufPool.Get().(*[packetBufCap]byte)[:0]
+}
+
+// PutPacketBuf returns a GetPacketBuf buffer to the pool. The caller
+// must not touch b (or anything aliasing it, e.g. frames from
+// DecodeBorrowed) afterwards. Buffers that did not come from
+// GetPacketBuf are ignored, so callers may hand back any packet buffer
+// unconditionally.
+func PutPacketBuf(b []byte) {
+	if cap(b) != packetBufCap {
+		return
+	}
+	packetBufPool.Put((*[packetBufCap]byte)(b[:packetBufCap]))
+}

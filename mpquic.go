@@ -25,14 +25,18 @@
 //		Path0: mpquic.PathSpec{CapacityMbps: 10, RTT: 30 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
 //		Path1: mpquic.PathSpec{CapacityMbps: 5, RTT: 60 * time.Millisecond, QueueDelay: 50 * time.Millisecond},
 //	})
-//	server := mpquic.Listen(net, mpquic.DefaultConfig())
-//	mpquic.ServeGet(server)
-//	client := mpquic.Dial(net, mpquic.DefaultConfig(), 1)
-//	res := mpquic.Download(net, client, 20<<20) // runs the virtual clock
+//	server := net.Listen(mpquic.DefaultConfig())
+//	net.ServeGet(server)
+//	client := net.Dial(mpquic.DefaultConfig(), 1)
+//	res, err := net.Download(client, 20<<20) // runs the virtual clock
+//	if err != nil {
+//		log.Fatal(err)
+//	}
 //	fmt.Println(res.Elapsed(), res.GoodputBps())
 package mpquic
 
 import (
+	"errors"
 	"time"
 
 	"mpquic/internal/apps"
@@ -85,6 +89,20 @@ const (
 	CCLia   = core.CCLia
 )
 
+// DefaultEventLimit is the runaway guard applied when
+// TwoPathConfig.EventLimit is zero: the simulation aborts with an error
+// after this many events, far beyond anything a finite transfer needs.
+const DefaultEventLimit = 500_000_000
+
+// DefaultDownloadDeadline is the virtual-time budget Network.Download
+// grants a transfer before returning ErrTimeout.
+const DefaultDownloadDeadline = 24 * time.Hour
+
+// ErrTimeout is returned by Network.Download and Network.DownloadWith
+// when the transfer does not complete before its deadline (e.g. every
+// path died mid-run).
+var ErrTimeout = errors.New("mpquic: transfer deadline exceeded")
+
 // TwoPathConfig describes the Fig. 2 topology: a dual-homed client and
 // server joined by two disjoint paths.
 type TwoPathConfig struct {
@@ -92,6 +110,10 @@ type TwoPathConfig struct {
 	// Seed drives every random process (loss draws). Runs with equal
 	// seeds are bit-for-bit reproducible.
 	Seed uint64
+	// EventLimit aborts the simulation with an error after this many
+	// clock events, guarding against runaway event loops. Zero means
+	// DefaultEventLimit.
+	EventLimit uint64
 }
 
 // Network is an emulated two-path network plus its virtual clock.
@@ -103,7 +125,10 @@ type Network struct {
 // NewTwoPathNetwork builds the emulated Fig. 2 topology.
 func NewTwoPathNetwork(cfg TwoPathConfig) *Network {
 	clock := sim.NewClock()
-	clock.Limit = 500_000_000
+	clock.Limit = cfg.EventLimit
+	if clock.Limit == 0 {
+		clock.Limit = DefaultEventLimit
+	}
 	tp := netem.NewTwoPath(clock, sim.NewRand(cfg.Seed), [2]netem.PathSpec{cfg.Path0, cfg.Path1})
 	return &Network{clock: clock, tp: tp}
 }
@@ -130,14 +155,15 @@ func (n *Network) KillPath(i int) { n.tp.KillPath(i) }
 // SetPathLoss sets path i's random loss rate.
 func (n *Network) SetPathLoss(i int, p float64) { n.tp.SetPathLoss(i, p) }
 
-// ClientAddr and ServerAddr expose the endpoint addresses of path i.
+// ClientAddr returns the client-side address of path i.
 func (n *Network) ClientAddr(i int) string { return string(n.tp.ClientAddrs[i]) }
 
 // ServerAddr returns the server-side address of path i.
 func (n *Network) ServerAddr(i int) string { return string(n.tp.ServerAddrs[i]) }
 
-// Listen starts a (MP)QUIC server on both server addresses.
-func Listen(n *Network, cfg Config) *Listener {
+// Listen starts a (MP)QUIC server on both server addresses (or only
+// the first for single-path configs).
+func (n *Network) Listen(cfg Config) *Listener {
 	addrs := n.tp.ServerAddrs[:]
 	if !cfg.Multipath {
 		addrs = addrs[:1]
@@ -147,7 +173,7 @@ func Listen(n *Network, cfg Config) *Listener {
 
 // Dial opens a client connection over the network. Multipath configs
 // get both address pairs; single-path configs only the first.
-func Dial(n *Network, cfg Config, connID uint64) *Conn {
+func (n *Network) Dial(cfg Config, connID uint64) *Conn {
 	locals, remotes := n.tp.ClientAddrs[:], n.tp.ServerAddrs[:]
 	if !cfg.Multipath {
 		locals, remotes = locals[:1], remotes[:1]
@@ -158,29 +184,51 @@ func Dial(n *Network, cfg Config, connID uint64) *Conn {
 // DialPartial opens a multipath client that initially knows only the
 // server's first address; further paths open when the server
 // advertises addresses via ADD_ADDRESS (the dual-stack use case).
-func DialPartial(n *Network, cfg Config, connID uint64) *Conn {
+func (n *Network) DialPartial(cfg Config, connID uint64) *Conn {
 	return core.Dial(n.tp.Net, cfg, core.NewConnID(connID), n.tp.ClientAddrs[:], n.tp.ServerAddrs[:1])
 }
 
 // ServeGet attaches the paper's GET file server to a listener.
-func ServeGet(l *Listener) { apps.NewGetServer(l) }
+func (n *Network) ServeGet(l *Listener) { apps.NewGetServer(l) }
 
 // ServeEcho attaches the §4.3 request/response responder.
-func ServeEcho(l *Listener) { apps.NewEchoServer(l) }
+func (n *Network) ServeEcho(l *Listener) { apps.NewEchoServer(l) }
+
+// DownloadOpts tunes Network.DownloadWith.
+type DownloadOpts struct {
+	// Deadline bounds the transfer in virtual time, measured from the
+	// moment DownloadWith is called. Zero means
+	// DefaultDownloadDeadline.
+	Deadline time.Duration
+}
 
 // Download runs a blocking GET of size bytes on the client connection:
-// it arms the transfer, drives the virtual clock until completion (or
-// the timeout), and returns the result. A nil result means the
-// transfer did not finish in time.
-func Download(n *Network, client *Conn, size uint64) *GetResult {
+// it arms the transfer, drives the virtual clock until completion, and
+// returns the result. It returns ErrTimeout if the transfer does not
+// finish within DefaultDownloadDeadline of virtual time.
+func (n *Network) Download(client *Conn, size uint64) (GetResult, error) {
+	return n.DownloadWith(client, size, DownloadOpts{})
+}
+
+// DownloadWith is Download with an explicit deadline.
+func (n *Network) DownloadWith(client *Conn, size uint64, opts DownloadOpts) (GetResult, error) {
+	deadline := opts.Deadline
+	if deadline <= 0 {
+		deadline = DefaultDownloadDeadline
+	}
 	var out *GetResult
 	now := func() time.Duration { return n.clock.Now().Duration() }
 	apps.NewGetClient(client, size, now, func(r apps.GetResult) {
 		out = &r
 		n.clock.Stop()
 	})
-	n.clock.RunUntil(sim.Time(24 * time.Hour))
-	return out
+	if err := n.clock.RunUntil(n.clock.Now().Add(deadline)); err != nil {
+		return GetResult{}, err
+	}
+	if out == nil {
+		return GetResult{}, ErrTimeout
+	}
+	return *out, nil
 }
 
 // ReqRespClient drives the §4.3 request train; see apps.ReqRespClient.
@@ -191,6 +239,58 @@ type ReqRespSample = apps.ReqRespSample
 
 // StartRequestTrain fires a 750-byte request every 400 ms for total,
 // recording per-request response delays (Fig. 11's series).
-func StartRequestTrain(n *Network, client *Conn, total time.Duration) *ReqRespClient {
+func (n *Network) StartRequestTrain(client *Conn, total time.Duration) *ReqRespClient {
 	return apps.NewReqRespClient(client, n.clock, total)
+}
+
+// --- Deprecated free-function facade ---
+//
+// The original facade exposed these as free functions taking the
+// network as their first argument. They forward to the method API and
+// will be removed one release after its introduction.
+
+// Listen starts a (MP)QUIC server on the network's server addresses.
+//
+// Deprecated: use [Network.Listen].
+func Listen(n *Network, cfg Config) *Listener { return n.Listen(cfg) }
+
+// Dial opens a client connection over the network.
+//
+// Deprecated: use [Network.Dial].
+func Dial(n *Network, cfg Config, connID uint64) *Conn { return n.Dial(cfg, connID) }
+
+// DialPartial opens a multipath client knowing only the server's first
+// address.
+//
+// Deprecated: use [Network.DialPartial].
+func DialPartial(n *Network, cfg Config, connID uint64) *Conn { return n.DialPartial(cfg, connID) }
+
+// ServeGet attaches the paper's GET file server to a listener.
+//
+// Deprecated: use [Network.ServeGet].
+func ServeGet(l *Listener) { apps.NewGetServer(l) }
+
+// ServeEcho attaches the §4.3 request/response responder.
+//
+// Deprecated: use [Network.ServeEcho].
+func ServeEcho(l *Listener) { apps.NewEchoServer(l) }
+
+// Download runs a blocking GET of size bytes; a nil result means the
+// transfer did not finish in time.
+//
+// Deprecated: use [Network.Download], which returns a typed ErrTimeout
+// instead of a nil pointer.
+func Download(n *Network, client *Conn, size uint64) *GetResult {
+	res, err := n.Download(client, size)
+	if err != nil {
+		return nil
+	}
+	return &res
+}
+
+// StartRequestTrain fires the §4.3 request train.
+//
+// Deprecated: use [Network.StartRequestTrain].
+func StartRequestTrain(n *Network, client *Conn, total time.Duration) *ReqRespClient {
+	return n.StartRequestTrain(client, total)
 }

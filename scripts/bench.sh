@@ -1,0 +1,103 @@
+#!/bin/sh
+# bench.sh — the repository performance harness.
+#
+# Runs the internal/perf micro benchmarks (wire encode/decode, sim
+# event loop, netem link transit) plus the smoke-grid macro benchmark,
+# and writes the numbers to a BENCH_*.json trajectory file so every PR
+# can compare its hot-path cost against the previous one.
+#
+#   scripts/bench.sh            # full run, writes BENCH_PR3.json
+#   scripts/bench.sh -smoke     # CI-sized sanity pass, no file output
+#   scripts/bench.sh -o F.json  # full run, write to F.json
+#
+# The emitted JSON carries a "baseline" block: the same benchmarks
+# measured at the commit before the PR 3 hot-path pass (8e0e2f0, struct
+# allocation + container/heap + per-packet closures), so the deltas are
+# readable without digging through git history.
+set -eu
+
+cd "$(dirname "$0")/.."
+
+out=BENCH_PR3.json
+mode=full
+while [ $# -gt 0 ]; do
+    case "$1" in
+    -smoke) mode=smoke ;;
+    -o) out=$2; shift ;;
+    *) echo "usage: scripts/bench.sh [-smoke] [-o file.json]" >&2; exit 2 ;;
+    esac
+    shift
+done
+
+micro='^(BenchmarkPacketEncode|BenchmarkPacketDecode|BenchmarkClockScheduleRun|BenchmarkClockSameTimeFIFO|BenchmarkLinkTransit)$'
+if [ "$mode" = smoke ]; then
+    microtime=100x
+    gridtime=1x
+else
+    microtime=2s
+    gridtime=3x
+fi
+
+tmp=$(mktemp)
+trap 'rm -f "$tmp"' EXIT
+
+echo "== micro benchmarks (-benchtime=$microtime)"
+go test ./internal/perf -run '^$' -bench "$micro" -benchmem -benchtime "$microtime" | tee -a "$tmp"
+
+echo "== smoke grid (-benchtime=$gridtime)"
+go test ./internal/perf -run '^$' -bench '^BenchmarkSmokeGrid$' -benchmem -benchtime "$gridtime" | tee -a "$tmp"
+
+if [ "$mode" = full ]; then
+    echo "== wire-mode transfer"
+    go test ./internal/perf -run '^$' -bench '^BenchmarkWireModeTransfer$' -benchmem -benchtime 3x | tee -a "$tmp"
+fi
+
+if [ "$mode" = smoke ]; then
+    echo "smoke bench ok"
+    exit 0
+fi
+
+# Convert `go test -bench` lines into JSON records. Metric pairs are
+# parsed generically: "124.6 ns/op" -> "ns_per_op": 124.6.
+results=$(awk '
+/^Benchmark/ {
+    name = $1
+    sub(/-[0-9]+$/, "", name)
+    sub(/^Benchmark/, "", name)
+    printf "%s    {\"name\": \"%s\", \"iterations\": %s", sep, name, $2
+    for (i = 3; i < NF; i += 2) {
+        key = $(i + 1)
+        gsub(/\//, "_per_", key)
+        gsub(/[^A-Za-z0-9_]/, "", key)
+        printf ", \"%s\": %s", key, $i
+    }
+    printf "}"
+    sep = ",\n"
+}' "$tmp")
+
+{
+    printf '{\n'
+    printf '  "go": "%s",\n' "$(go version | awk '{print $3}')"
+    printf '  "benchtime": {"micro": "%s", "grid": "%s"},\n' "$microtime" "$gridtime"
+    cat <<'EOF'
+  "baseline": {
+    "commit": "8e0e2f0",
+    "note": "pre-PR3 hot path: per-event heap allocation via container/heap, per-packet encode/decode buffer copies, two closures per link transit",
+    "results": [
+      {"name": "PacketEncode", "ns_per_op": 290.8, "B_per_op": 1408, "allocs_per_op": 1},
+      {"name": "PacketDecode", "ns_per_op": 706.9, "B_per_op": 1824, "allocs_per_op": 11},
+      {"name": "ClockScheduleRun", "ns_per_op": 100480, "B_per_op": 24576, "allocs_per_op": 512},
+      {"name": "ClockSameTimeFIFO", "ns_per_op": 89893, "B_per_op": 24576, "allocs_per_op": 512},
+      {"name": "LinkTransit", "ns_per_op": 133168, "B_per_op": 65536, "allocs_per_op": 1024},
+      {"name": "SmokeGrid", "ns_per_op": 865835080, "scenarios_per_sec": 6.93, "B_per_op": 399059520, "allocs_per_op": 5633206},
+      {"name": "WireModeTransfer", "ns_per_op": 616510091, "B_per_op": 2528787360, "allocs_per_op": 187156}
+    ]
+  },
+EOF
+    printf '  "results": [\n'
+    printf '%s\n' "$results"
+    printf '  ]\n'
+    printf '}\n'
+} > "$out"
+
+echo "wrote $out"
