@@ -1,13 +1,21 @@
 # Convenience targets; see scripts/check.sh for the pre-commit gate and
 # scripts/bench.sh for the perf harness.
 
-.PHONY: build test bench bench-smoke check
+.PHONY: build test vet fuzz-smoke bench bench-smoke check
 
 build:
 	go build ./...
 
 test:
 	go test ./...
+
+vet:
+	go vet ./...
+	go run ./cmd/mpq-vet ./...
+
+fuzz-smoke:
+	go test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=30s ./internal/wire
+	go test -run='^$$' -fuzz='^FuzzDecodeBorrowed$$' -fuzztime=30s ./internal/wire
 
 bench:
 	sh scripts/bench.sh

@@ -43,6 +43,7 @@ import (
 	"time"
 
 	"mpquic/internal/expdesign"
+	"mpquic/internal/perf"
 )
 
 // parseShard parses "i/N" into (i, N); "" means the whole grid.
@@ -123,7 +124,7 @@ func main() {
 		if *fromArt {
 			return loadGrid(class, size)
 		}
-		start := time.Now()
+		watch := perf.NewStopwatch()
 		resumed := 0
 		first := true
 		prog := func(done, total int) {
@@ -140,8 +141,7 @@ func main() {
 			}
 			line := fmt.Sprintf("\r  %d/%d scenarios", done, total)
 			if computed := done - resumed; computed > 0 && done < total {
-				rate := time.Since(start) / time.Duration(computed)
-				line += fmt.Sprintf("  ETA %v   ", (rate * time.Duration(total-done)).Round(time.Second))
+				line += fmt.Sprintf("  ETA %v   ", watch.ETA(computed, total-done).Round(time.Second))
 			}
 			fmt.Fprint(os.Stderr, line)
 			if done == total {
@@ -168,7 +168,7 @@ func main() {
 			os.Exit(1)
 		}
 		if *progress {
-			fmt.Fprintf(os.Stderr, "  (%s grid took %v)\n", class.Name, time.Since(start).Round(time.Second))
+			fmt.Fprintf(os.Stderr, "  (%s grid took %v)\n", class.Name, watch.Elapsed().Round(time.Second))
 		}
 		return fd
 	}

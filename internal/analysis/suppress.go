@@ -1,0 +1,90 @@
+package analysis
+
+import (
+	"fmt"
+	"go/token"
+	"strings"
+)
+
+// allowPrefix introduces a suppression annotation:
+//
+//	//mpqvet:allow <analyzer> <reason>
+//
+// placed on the flagged line or on the line directly above it. The
+// analyzer name must match an analyzer in the suite and the reason is
+// mandatory — suppressions are audited decisions, not escape hatches.
+const allowPrefix = "mpqvet:allow"
+
+// allowKey identifies the scope of one annotation: a (file, line)
+// suppresses the named analyzer on that line.
+type allowKey struct {
+	file     string
+	line     int
+	analyzer string
+}
+
+// collectAllows scans pkg's comments for //mpqvet:allow annotations.
+// It returns the set of (file, line, analyzer) suppressions and an
+// error listing any malformed annotation (unknown analyzer, missing
+// reason) — a bad allow must fail the build, or typos would silently
+// disable checks.
+func collectAllows(pkg *Package) (map[allowKey]bool, error) {
+	allows := make(map[allowKey]bool)
+	var bad []string
+	for _, f := range pkg.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := strings.TrimPrefix(c.Text, "//")
+				if !strings.HasPrefix(text, allowPrefix) {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Slash)
+				fields := strings.Fields(strings.TrimPrefix(text, allowPrefix))
+				if len(fields) < 2 {
+					bad = append(bad, fmt.Sprintf("%s: //%s needs \"<analyzer> <reason>\"", pos, allowPrefix))
+					continue
+				}
+				name := fields[0]
+				if ByName(name) == nil {
+					bad = append(bad, fmt.Sprintf("%s: //%s names unknown analyzer %q", pos, allowPrefix, name))
+					continue
+				}
+				// The annotation covers its own line (trailing comment)
+				// and the line below (comment on its own line).
+				allows[allowKey{pos.Filename, pos.Line, name}] = true
+				allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+			}
+		}
+	}
+	if len(bad) > 0 {
+		return nil, fmt.Errorf("%s", strings.Join(bad, "\n"))
+	}
+	return allows, nil
+}
+
+// filterSuppressed drops diagnostics covered by an //mpqvet:allow
+// annotation. Malformed annotations surface as the returned error even
+// when there are no diagnostics.
+func filterSuppressed(pkg *Package, diags []Diagnostic) ([]Diagnostic, error) {
+	allows, err := collectAllows(pkg)
+	if err != nil {
+		return diags, err
+	}
+	if len(allows) == 0 {
+		return diags, nil
+	}
+	kept := diags[:0]
+	for _, d := range diags {
+		pos := pkg.Fset.Position(d.Pos)
+		if allows[allowKey{pos.Filename, pos.Line, d.Analyzer}] {
+			continue
+		}
+		kept = append(kept, d)
+	}
+	return kept, nil
+}
+
+// Position formats a diagnostic for terminal output.
+func (d Diagnostic) Format(fset *token.FileSet) string {
+	return fmt.Sprintf("%s: %s: %s", fset.Position(d.Pos), d.Analyzer, d.Message)
+}

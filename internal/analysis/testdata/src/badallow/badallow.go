@@ -1,0 +1,15 @@
+// Package badallow holds malformed //mpqvet:allow annotations; the
+// suppression collector must reject both.
+package badallow
+
+import "time"
+
+func missingReason() time.Time {
+	//mpqvet:allow walltime
+	return time.Now()
+}
+
+func unknownAnalyzer() time.Time {
+	//mpqvet:allow nosuchanalyzer because reasons
+	return time.Now()
+}

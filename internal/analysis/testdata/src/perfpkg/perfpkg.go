@@ -1,0 +1,17 @@
+// Package perfpkg is loaded by the walltime tests under the import
+// path mpquic/internal/perf to prove the analyzer's package allowlist:
+// the wall-clock reads below must produce no findings there, and must
+// produce findings when the same code is loaded under its own path.
+package perfpkg
+
+import "time"
+
+// Elapsed reads the wall clock, which only the perf package may do.
+func Elapsed(start time.Time) time.Duration {
+	return time.Since(start)
+}
+
+// Stamp reads the wall clock.
+func Stamp() time.Time {
+	return time.Now()
+}

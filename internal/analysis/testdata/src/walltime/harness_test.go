@@ -1,0 +1,10 @@
+package walltime
+
+import "time"
+
+// Test files are a timing harness: wall-clock reads here are exempt,
+// so this file carries no want comments.
+func measure() time.Duration {
+	start := time.Now()
+	return time.Since(start)
+}

@@ -1,0 +1,46 @@
+package analysis_test
+
+import (
+	"path/filepath"
+	"testing"
+
+	"mpquic/internal/analysis"
+	"mpquic/internal/analysis/analysistest"
+)
+
+func TestWalltime(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Walltime, "walltime")
+}
+
+// TestWalltimeAllowlist loads the same wall-clock-reading code twice:
+// under the perf package's import path (allowlisted, no findings) and
+// under a plain path (two findings). This proves the allowlist is
+// path-based, not accidental.
+func TestWalltimeAllowlist(t *testing.T) {
+	root := moduleRoot(t)
+	dir := filepath.Join("testdata", "src", "perfpkg")
+
+	asPerf, err := analysis.LoadFromDir(root, dir, "mpquic/internal/perf")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(asPerf, []*analysis.Analyzer{analysis.Walltime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("allowlisted perf package produced %d findings, want 0: %v", len(diags), diags)
+	}
+
+	asOther, err := analysis.LoadFromDir(root, dir, "perfpkg")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err = analysis.RunAnalyzers(asOther, []*analysis.Analyzer{analysis.Walltime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Errorf("non-allowlisted copy produced %d findings, want 2: %v", len(diags), diags)
+	}
+}

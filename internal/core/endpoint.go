@@ -1,6 +1,8 @@
 package core
 
 import (
+	"sort"
+
 	"mpquic/internal/netem"
 	"mpquic/internal/wire"
 )
@@ -76,11 +78,17 @@ func Listen(nw *netem.Network, cfg Config, addrs []netem.Addr) *Listener {
 // first packet of an unknown Connection ID arrives.
 func (l *Listener) OnConnection(fn func(*Conn)) { l.onConn = fn }
 
-// Conns returns the accepted connections.
+// Conns returns the accepted connections, sorted by Connection ID so
+// the order is deterministic (map iteration order must not leak).
 func (l *Listener) Conns() []*Conn {
-	out := make([]*Conn, 0, len(l.conns))
-	for _, c := range l.conns {
-		out = append(out, c)
+	ids := make([]wire.ConnectionID, 0, len(l.conns))
+	for id := range l.conns {
+		ids = append(ids, id)
+	}
+	sort.Slice(ids, func(i, j int) bool { return ids[i] < ids[j] })
+	out := make([]*Conn, 0, len(ids))
+	for _, id := range ids {
+		out = append(out, l.conns[id])
 	}
 	return out
 }

@@ -216,12 +216,28 @@ func LoadFigureData(paths ...string) (FigureData, error) {
 		}
 	}
 	var fd FigureData
-	recs := make([]ArtifactRecord, 0, len(merged))
-	for _, rec := range merged {
-		recs = append(recs, rec)
+	// Iterate the merged map through its sorted keys: the key is a
+	// total order, so the result is deterministic even if two records
+	// share a scenario ID (the mixed-grid error path below).
+	keys := make([]artifactKey, 0, len(merged))
+	for k := range merged {
+		keys = append(keys, k)
 	}
-	sort.Slice(recs, func(i, j int) bool { return recs[i].Scenario.ID < recs[j].Scenario.ID })
-	for _, rec := range recs {
+	sort.Slice(keys, func(i, j int) bool {
+		a, b := keys[i], keys[j]
+		if a.ID != b.ID {
+			return a.ID < b.ID
+		}
+		if a.ClassSeed != b.ClassSeed {
+			return a.ClassSeed < b.ClassSeed
+		}
+		if a.Size != b.Size {
+			return a.Size < b.Size
+		}
+		return a.Reps < b.Reps
+	})
+	for _, k := range keys {
+		rec := merged[k]
 		if fd.Class == "" {
 			fd.Class, fd.Size = rec.Class, rec.Size
 		}

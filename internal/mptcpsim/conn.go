@@ -2,6 +2,7 @@ package mptcpsim
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"mpquic/internal/cc"
@@ -151,11 +152,17 @@ func ListenMPTCP(nw *netem.Network, cfg Config, addrs []netem.Addr) *Listener {
 // OnConnection registers the accept callback.
 func (l *Listener) OnConnection(fn func(*Conn)) { l.onConn = fn }
 
-// Conns returns accepted connections.
+// Conns returns accepted connections, sorted by token so the order is
+// deterministic (map iteration order must not leak).
 func (l *Listener) Conns() []*Conn {
-	out := make([]*Conn, 0, len(l.conns))
-	for _, c := range l.conns {
-		out = append(out, c)
+	tokens := make([]uint32, 0, len(l.conns))
+	for tok := range l.conns {
+		tokens = append(tokens, tok)
+	}
+	sort.Slice(tokens, func(i, j int) bool { return tokens[i] < tokens[j] })
+	out := make([]*Conn, 0, len(tokens))
+	for _, tok := range tokens {
+		out = append(out, l.conns[tok])
 	}
 	return out
 }

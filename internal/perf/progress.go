@@ -1,0 +1,35 @@
+package perf
+
+import "time"
+
+// Stopwatch measures real elapsed time for tooling output (progress
+// lines, ETAs, "grid took 12s" summaries). It exists so that every
+// wall-clock read in the repository lives in this package — the one
+// place the walltime analyzer (internal/analysis) allowlists. Protocol
+// and simulation code must never need it: virtual time comes from
+// sim.Clock.
+type Stopwatch struct {
+	start time.Time
+}
+
+// NewStopwatch returns a running stopwatch.
+func NewStopwatch() *Stopwatch {
+	return &Stopwatch{start: time.Now()}
+}
+
+// Elapsed reports the wall-clock time since the stopwatch started.
+func (s *Stopwatch) Elapsed() time.Duration {
+	return time.Since(s.start)
+}
+
+// ETA estimates the remaining wall-clock time for a batch of work:
+// given that `done` items finished since the stopwatch started, it
+// extrapolates the mean per-item rate over the `remaining` items.
+// It returns 0 until at least one item is done.
+func (s *Stopwatch) ETA(done, remaining int) time.Duration {
+	if done <= 0 || remaining <= 0 {
+		return 0
+	}
+	rate := s.Elapsed() / time.Duration(done)
+	return rate * time.Duration(remaining)
+}

@@ -3,6 +3,7 @@ package stats
 import (
 	"fmt"
 	"math"
+	"sort"
 	"strings"
 )
 
@@ -134,7 +135,7 @@ func sortedKeys(m map[string][]float64) []string {
 	for k := range m {
 		out = append(out, k)
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
 }
 
@@ -143,14 +144,6 @@ func sortedKeysBox(m map[string]Box) []string {
 	for k := range m {
 		out = append(out, k)
 	}
-	sortStrings(out)
+	sort.Strings(out)
 	return out
-}
-
-func sortStrings(s []string) {
-	for i := 1; i < len(s); i++ {
-		for j := i; j > 0 && s[j] < s[j-1]; j-- {
-			s[j], s[j-1] = s[j-1], s[j]
-		}
-	}
 }

@@ -1,6 +1,7 @@
 package tcpsim
 
 import (
+	"sort"
 	"time"
 
 	"mpquic/internal/cc"
@@ -180,11 +181,17 @@ func ListenTCP(nw *netem.Network, cfg Config, addr netem.Addr) *Listener {
 // OnConnection registers the accept callback.
 func (l *Listener) OnConnection(fn func(*Conn)) { l.onConn = fn }
 
-// Conns returns accepted connections.
+// Conns returns accepted connections, sorted by peer address so the
+// order is deterministic (map iteration order must not leak).
 func (l *Listener) Conns() []*Conn {
-	out := make([]*Conn, 0, len(l.conns))
-	for _, c := range l.conns {
-		out = append(out, c)
+	addrs := make([]netem.Addr, 0, len(l.conns))
+	for a := range l.conns {
+		addrs = append(addrs, a)
+	}
+	sort.Slice(addrs, func(i, j int) bool { return addrs[i] < addrs[j] })
+	out := make([]*Conn, 0, len(addrs))
+	for _, a := range addrs {
+		out = append(out, l.conns[a])
 	}
 	return out
 }

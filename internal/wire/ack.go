@@ -130,6 +130,9 @@ func parseAckFrame(b []byte) (Frame, int, error) {
 		return nil, 0, frameErr("ACK", err)
 	}
 	off += n
+	if delayUS > maxDurationUS {
+		return nil, 0, frameErr("ACK", errDurationRange)
+	}
 	f.AckDelay = time.Duration(delayUS) * time.Microsecond
 	extra, n, err := ConsumeVarint(b[off:])
 	if err != nil {

@@ -352,6 +352,9 @@ func parseFrame(b []byte, borrow bool) (Frame, int, error) {
 				return nil, 0, frameErr("PATHS", err)
 			}
 			off += n
+			if us > maxDurationUS {
+				return nil, 0, frameErr("PATHS", errDurationRange)
+			}
 			pi.SRTT = time.Duration(us) * time.Microsecond
 			f.Paths = append(f.Paths, pi)
 		}

@@ -28,6 +28,14 @@ const MaxVarint = uint64(maxVarint8)
 
 var errVarintRange = errors.New("wire: value exceeds varint range")
 
+// maxDurationUS is the largest microsecond count representable as a
+// time.Duration. Varints can carry up to 2^62-1, so decoders of
+// microsecond fields must reject anything above this bound or the
+// duration silently overflows (and can no longer be re-encoded).
+const maxDurationUS = uint64(1<<63-1) / 1000
+
+var errDurationRange = errors.New("wire: microsecond value overflows time.Duration")
+
 // ErrTruncated reports a buffer that ended inside a field.
 var ErrTruncated = errors.New("wire: truncated input")
 

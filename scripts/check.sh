@@ -20,6 +20,25 @@ fi
 echo "== go vet"
 go vet ./...
 
+echo "== mpq-vet"
+go run ./cmd/mpq-vet ./...
+
+# Optional linters: run when present on PATH, skip (loudly) when not.
+# CI installs pinned versions; local sandboxes without network access
+# still get the full first-party gate above.
+if command -v staticcheck >/dev/null 2>&1; then
+    echo "== staticcheck"
+    staticcheck ./...
+else
+    echo "== staticcheck (skipped: not installed)"
+fi
+if command -v govulncheck >/dev/null 2>&1; then
+    echo "== govulncheck"
+    govulncheck ./...
+else
+    echo "== govulncheck (skipped: not installed)"
+fi
+
 echo "== go test"
 go test ./...
 
