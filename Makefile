@@ -1,7 +1,7 @@
 # Convenience targets; see scripts/check.sh for the pre-commit gate and
 # scripts/bench.sh for the perf harness.
 
-.PHONY: build test vet fuzz-smoke bench bench-smoke check
+.PHONY: build test vet doclint fuzz-smoke bench bench-smoke check
 
 build:
 	go build ./...
@@ -12,6 +12,9 @@ test:
 vet:
 	go vet ./...
 	go run ./cmd/mpq-vet ./...
+
+doclint:
+	go run ./scripts/doclint.go
 
 fuzz-smoke:
 	go test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=30s ./internal/wire

@@ -21,6 +21,13 @@
 // bandwidth (WiFi fading), and periodically flaky paths. They use the
 // same checkpoint/shard machinery as the paper grids.
 //
+// Observability (see OBSERVABILITY.md): -sample records per-path
+// cwnd/RTT time series into the artifacts and prints one paper-style
+// evolution figure per grid; -flight-recorder arms a bounded
+// post-mortem ring on every run and dumps it into the given directory
+// when a run times out, aborts, or suffers an RTO storm — healthy runs
+// write nothing.
+//
 // Usage:
 //
 //	mpq-bench                            # every paper experiment, subsampled
@@ -73,6 +80,8 @@ func main() {
 		artifacts = flag.String("artifacts", "", "directory for grid JSONL artifacts (enables checkpoint/resume)")
 		shard     = flag.String("shard", "", "run only shard i of N of each grid, as i/N (e.g. 0/4)")
 		fromArt   = flag.Bool("from-artifacts", false, "render reports from persisted artifacts instead of running (requires -artifacts)")
+		flightDir = flag.String("flight-recorder", "", "directory for anomaly post-mortems: arms a bounded flight recorder per run, dumped on timeout/abort/RTO storm")
+		sampleIvl = flag.Duration("sample", 0, "per-path time-series sampling interval (0 = off); samples land in artifacts and one evolution figure per grid is printed")
 	)
 	flag.Parse()
 	if *full {
@@ -90,6 +99,12 @@ func main() {
 	}
 	if *artifacts != "" && !*fromArt {
 		if err := os.MkdirAll(*artifacts, 0o755); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *flightDir != "" {
+		if err := os.MkdirAll(*flightDir, 0o755); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -149,14 +164,16 @@ func main() {
 			}
 		}
 		cfg := expdesign.GridConfig{
-			Class:     class,
-			Scenarios: *scenarios,
-			Size:      size,
-			Reps:      *reps,
-			Workers:   *workers,
-			Shard:     shardIdx,
-			NumShards: numShards,
-			Progress:  prog,
+			Class:          class,
+			Scenarios:      *scenarios,
+			Size:           size,
+			Reps:           *reps,
+			Workers:        *workers,
+			Shard:          shardIdx,
+			NumShards:      numShards,
+			Progress:       prog,
+			SampleInterval: *sampleIvl,
+			FlightDir:      *flightDir,
 		}
 		if *artifacts != "" {
 			cfg.ArtifactPath = filepath.Join(*artifacts,
@@ -169,6 +186,18 @@ func main() {
 		}
 		if *progress {
 			fmt.Fprintf(os.Stderr, "  (%s grid took %v)\n", class.Name, watch.Elapsed().Round(time.Second))
+		}
+		if *sampleIvl > 0 {
+			// One paper-style evolution figure per grid: the first
+			// scenario's MPQUIC run, sampled at the requested cadence.
+			for _, sr := range fd.Results {
+				m := sr.Runs[expdesign.ProtoMPQUIC][0].Metrics
+				if len(m.Series) > 0 {
+					fmt.Println(expdesign.ReportRunSeries(m,
+						fmt.Sprintf("%s scenario %d MPQUIC", class.Name, sr.Scenario.ID)))
+					break
+				}
+			}
 		}
 		return fd
 	}

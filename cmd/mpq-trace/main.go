@@ -1,12 +1,15 @@
 // Command mpq-trace runs one (MP)QUIC download with full protocol
 // tracing — the reproduction's qlog. Events (packets, acks, losses,
-// congestion windows, path lifecycle) stream to stdout as text or
-// newline-delimited JSON. Link lifecycle events (link_down, link_up,
-// link_reconfigured) from the emulator are interleaved, so dynamic
-// scenarios — a killed or flapping path — explain themselves in the
-// trace.
+// congestion windows, path lifecycle) stream to stdout as text,
+// newline-delimited JSON, or qlog-compatible JSON-SEQ (-qlog; loadable
+// in qlog tooling such as qvis, with per-path cwnd/RTT series carried
+// as recovery:metrics_updated events). Link lifecycle events
+// (link_down, link_up, link_reconfigured) from the emulator are
+// interleaved, so dynamic scenarios — a killed or flapping path —
+// explain themselves in the trace.
 //
-//	mpq-trace -size 1 -json > transfer.qlog
+//	mpq-trace -size 1 -json > transfer.jsonl
+//	mpq-trace -size 1 -qlog > transfer.qlog
 //	mpq-trace -events rto_fired,path_potentially_failed -kill-at 2s
 //	mpq-trace -events link_down,link_up,rto_fired -flap-period 2s -flap-outage 300ms
 package main
@@ -30,6 +33,7 @@ func main() {
 	var (
 		sizeMB  = flag.Float64("size", 1, "transfer size in MB")
 		jsonOut = flag.Bool("json", false, "emit newline-delimited JSON instead of text")
+		qlogOut = flag.Bool("qlog", false, "emit qlog-compatible JSON-SEQ instead of text")
 		events  = flag.String("events", "", "comma-separated event filter (empty = all)")
 		side    = flag.String("side", "server", "which endpoint to trace: client or server")
 		killAt  = flag.Duration("kill-at", 0, "kill path 0 at this time (0 = never)")
@@ -46,9 +50,12 @@ func main() {
 	flag.Parse()
 
 	var tracer trace.Tracer
-	if *jsonOut {
+	switch {
+	case *qlogOut:
+		tracer = trace.NewQlog(os.Stdout, *side)
+	case *jsonOut:
 		tracer = trace.NewJSON(os.Stdout)
-	} else {
+	default:
 		tracer = trace.NewText(os.Stdout)
 	}
 	if *events != "" {

@@ -1,7 +1,9 @@
 package mpquic_test
 
 import (
+	"bytes"
 	"errors"
+	"strings"
 	"testing"
 	"time"
 
@@ -36,19 +38,36 @@ func TestDownloadTimeoutOnKilledPaths(t *testing.T) {
 	}
 }
 
-// The deprecated free-function facade must keep its nil-on-timeout
-// contract while it exists.
-func TestDeprecatedDownloadNilOnTimeout(t *testing.T) {
-	net := mpquic.NewTwoPathNetwork(twoPathSpec(1))
-	server := net.Listen(mpquic.DefaultConfig())
-	net.ServeGet(server)
-	client := net.Dial(mpquic.DefaultConfig(), 42)
-	net.At(time.Second, func() {
-		net.KillPath(0)
-		net.KillPath(1)
-	})
-	if res := mpquic.Download(net, client, 64<<20); res != nil {
-		t.Fatalf("deprecated Download = %+v, want nil on timeout", res)
+// Tracing is a pure observer: arming a qlog tracer on the endpoints
+// and the links must not change the transfer's outcome, and the trace
+// must carry qlog-framed events.
+func TestFacadeTracingIsPureObserver(t *testing.T) {
+	download := func(tracer mpquic.Tracer) mpquic.GetResult {
+		net := mpquic.NewTwoPathNetwork(twoPathSpec(1))
+		if tracer != nil {
+			net.SetLinkTracer(tracer)
+		}
+		cfg := mpquic.DefaultConfig()
+		cfg.Tracer = tracer
+		server := net.Listen(cfg)
+		net.ServeGet(server)
+		client := net.Dial(cfg, 42)
+		res, err := net.Download(client, 1<<20)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+
+	plain := download(nil)
+	var buf bytes.Buffer
+	traced := download(mpquic.NewQlogTracer(&buf, "server"))
+	if plain != traced {
+		t.Fatalf("tracing changed the run:\nplain  %+v\ntraced %+v", plain, traced)
+	}
+	if !strings.Contains(buf.String(), `"qlog_version"`) ||
+		!strings.Contains(buf.String(), "transport:packet_sent") {
+		t.Fatalf("qlog trace missing expected framing:\n%.400s", buf.String())
 	}
 }
 
@@ -66,8 +85,8 @@ func TestEventLimitSurfacesError(t *testing.T) {
 	}
 }
 
-// Download with the default deadline completes and reports the same
-// transfer the deprecated facade did.
+// Download with the default deadline completes and reports a sane
+// result.
 func TestDownloadMethodCompletes(t *testing.T) {
 	net := mpquic.NewTwoPathNetwork(twoPathSpec(1))
 	server := net.Listen(mpquic.DefaultConfig())

@@ -166,6 +166,28 @@ func (c *Conn) Paths() []*Path {
 // PathByID returns a path or nil.
 func (c *Conn) PathByID(id wire.PathID) *Path { return c.paths[id] }
 
+// SampleInto appends one PathSample per path (creation order) to rec,
+// stamped with the current simulated time. Sampling only reads state —
+// attaching a sampler never changes a run's schedule or results — and
+// at a fixed cadence the series is byte-reproducible across same-seed
+// runs.
+func (c *Conn) SampleInto(rec *trace.SeriesRecorder) {
+	now := c.now()
+	for _, id := range c.pathOrder {
+		p := c.paths[id]
+		rec.Add(trace.PathSample{
+			T:          now,
+			Path:       uint8(p.ID),
+			Cwnd:       p.cc.Cwnd(),
+			SRTT:       p.est.SmoothedRTT(),
+			InFlight:   p.space.BytesInFlight(),
+			BytesSent:  p.SentBytes,
+			BytesAcked: p.AckedBytes,
+			SlowStart:  p.cc.InSlowStart(),
+		})
+	}
+}
+
 // OnHandshakeComplete registers the handshake-completion callback.
 func (c *Conn) OnHandshakeComplete(fn func()) {
 	c.onHandshakeDone = fn
@@ -469,6 +491,8 @@ func (c *Conn) handleAck(recvPath *Path, ack *wire.AckFrame) {
 	srtt := target.est.SmoothedRTT()
 	for _, sp := range res.NewlyAcked {
 		target.cc.OnPacketAcked(sp.Size, srtt)
+		target.AckedPackets++
+		target.AckedBytes += uint64(sp.Size)
 		c.trace(trace.Event{Type: trace.PacketAcked, Path: uint8(target.ID), PN: uint64(sp.PN), Size: sp.Size, SRTT: srtt})
 		c.onFramesAcked(sp.Frames)
 	}

@@ -48,10 +48,12 @@ type Path struct {
 	ctrl []wire.Frame
 
 	// Stats
-	SentPackets uint64
-	SentBytes   uint64
-	RecvPackets uint64
-	RecvBytes   uint64
+	SentPackets  uint64
+	SentBytes    uint64
+	RecvPackets  uint64
+	RecvBytes    uint64
+	AckedPackets uint64
+	AckedBytes   uint64
 }
 
 func newPath(id wire.PathID, local, remote netem.Addr, est *rtt.Estimator, ctrl cc.Controller, oliaPath *cc.OliaPath) *Path {

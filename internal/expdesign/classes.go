@@ -5,6 +5,16 @@
 // with both choices of initial path and three seeded repetitions, and
 // summarized as the time-ratio CDFs and experimental aggregation
 // benefit boxes of Figs. 3–10.
+//
+// Determinism contract: every run's seed is a pure function of its
+// grid coordinates (see the derivation note in experiment.go), every
+// simulation runs on a virtual clock (no wall time — enforced by
+// `mpq-vet walltime`), and the observability instruments of RunOpts /
+// GridConfig (time-series sampling, tracing, flight recording; see
+// OBSERVABILITY.md) are pure observers. Re-running any grid point —
+// instrumented or not — reproduces its artifact byte-for-byte, which
+// is what makes checkpoints resumable, shards mergeable, and the
+// golden-grid tests possible.
 package expdesign
 
 import (

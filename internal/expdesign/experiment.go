@@ -2,10 +2,14 @@ package expdesign
 
 import (
 	"fmt"
+	"os"
+	"path/filepath"
 	"runtime"
 	"sync"
+	"time"
 
 	"mpquic/internal/stats"
+	"mpquic/internal/trace"
 )
 
 // Repetitions is the paper's per-point repetition count (median of 3).
@@ -49,7 +53,31 @@ type GridConfig struct {
 	// Progress, when non-nil, is called after each completed scenario
 	// (including scenarios restored from the checkpoint).
 	Progress func(done, total int)
+	// SampleInterval, when positive, records per-path time series
+	// (cwnd, smoothed RTT, bytes in flight, cumulative bytes) for every
+	// run at this simulated-time cadence; each artifact carries its
+	// median run's series in RunMetrics.Series. Zero disables sampling
+	// and keeps artifacts byte-identical to sampling-free versions.
+	SampleInterval time.Duration
+	// FlightDir, when non-empty, arms a bounded flight recorder on
+	// every run and writes a post-mortem JSONL dump into this directory
+	// whenever a run ends anomalously (timeout, simulator abort, or an
+	// RTO storm). Healthy runs produce no files. Dump writing is
+	// best-effort: an I/O failure never fails the grid.
+	FlightDir string
+	// FlightEvents bounds the flight-recorder ring
+	// (trace.DefaultFlightEvents when <= 0).
+	FlightEvents int
+	// FlightRTOStorm is the sender RTO count classifying a completed
+	// run as an RTO storm (DefaultRTOStorm when 0).
+	FlightRTOStorm uint64
 }
+
+// DefaultRTOStorm is the sender RTO count at which a completed run is
+// still considered anomalous: a transfer that needed this many
+// timeouts was effectively stalled repeatedly and is worth a
+// post-mortem.
+const DefaultRTOStorm = 10
 
 // FigureData is the raw material of one figure: all scenario results
 // of one (class, size) grid.
@@ -79,16 +107,49 @@ func runSeed(class Class, scenarioID int, proto Protocol, start int) uint64 {
 		uint64(proto)*131 + uint64(start)*17 + 1
 }
 
-// runScenario executes one scenario's eight median runs.
+// runScenario executes one scenario's eight median runs, threading the
+// grid's observability settings into each.
 func runScenario(cfg GridConfig, sc Scenario) ScenarioResult {
 	sr := ScenarioResult{Scenario: sc}
 	for proto := ProtoTCP; proto <= ProtoMPQUIC; proto++ {
 		for start := 0; start < 2; start++ {
 			seed := runSeed(cfg.Class, sc.ID, proto, start)
-			sr.Runs[proto][start] = RunMedian(sc, proto, cfg.Size, start, cfg.Reps, seed)
+			opts := RunOpts{SampleInterval: cfg.SampleInterval}
+			if cfg.FlightDir != "" {
+				opts.FlightEvents = cfg.FlightEvents
+				if opts.FlightEvents <= 0 {
+					opts.FlightEvents = trace.DefaultFlightEvents
+				}
+				opts.RTOStorm = cfg.FlightRTOStorm
+				if opts.RTOStorm == 0 {
+					opts.RTOStorm = DefaultRTOStorm
+				}
+				proto, start := proto, start
+				opts.FlightDump = func(rep int, anomaly string, rec *trace.FlightRecorder) {
+					writeFlightDump(cfg, sc, proto, start, rep, anomaly, rec)
+				}
+			}
+			sr.Runs[proto][start] = RunMedianOpts(sc, proto, cfg.Size, start, cfg.Reps, seed, opts)
 		}
 	}
 	return sr
+}
+
+// writeFlightDump persists one anomalous run's flight-recorder ring as
+// <FlightDir>/flight-<class>-s<scenario>-<proto>-start<start>-rep<rep>-<anomaly>.jsonl.
+// The name is a pure function of the run coordinates, so re-running a
+// grid overwrites (never duplicates) its dumps. Best-effort: dump I/O
+// failures are swallowed — a broken disk should not fail a grid that
+// already has its results.
+func writeFlightDump(cfg GridConfig, sc Scenario, proto Protocol, start, rep int, anomaly string, rec *trace.FlightRecorder) {
+	name := fmt.Sprintf("flight-%s-s%d-%s-start%d-rep%d-%s.jsonl",
+		cfg.Class.Name, sc.ID, proto, start, rep, anomaly)
+	f, err := os.Create(filepath.Join(cfg.FlightDir, name))
+	if err != nil {
+		return
+	}
+	defer f.Close()
+	_ = rec.DumpJSONL(f, anomaly)
 }
 
 // shardScenarios selects this process's share of the grid.

@@ -107,6 +107,32 @@ func ReportHandover(res HandoverResult, title string) string {
 	return b.String()
 }
 
+// ReportRunSeries renders a run's per-path time series — the
+// paper-style congestion-window and smoothed-RTT evolution figures —
+// from RunMetrics.Series (recorded when the grid ran with
+// SampleInterval set). Empty series yield a one-line notice.
+func ReportRunSeries(m RunMetrics, title string) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s — per-path evolution (%d samples)\n", title, len(m.Series))
+	if len(m.Series) == 0 {
+		b.WriteString("  no samples: run the grid with SampleInterval > 0\n")
+		return b.String()
+	}
+	cwnd := make(map[string][]stats.Point)
+	srtt := make(map[string][]stats.Point)
+	for _, s := range m.Series {
+		name := fmt.Sprintf("path %d", s.Path)
+		t := s.T.Seconds()
+		cwnd[name] = append(cwnd[name], stats.Point{X: t, Y: float64(s.Cwnd)})
+		srtt[name] = append(srtt[name], stats.Point{X: t, Y: float64(s.SRTT) / float64(time.Millisecond)})
+	}
+	b.WriteString("  congestion window [bytes] over time [s]\n")
+	b.WriteString(stats.AsciiTimeSeries(cwnd, 60, 12))
+	b.WriteString("  smoothed RTT [ms] over time [s]\n")
+	b.WriteString(stats.AsciiTimeSeries(srtt, 60, 12))
+	return b.String()
+}
+
 func fmtSize(size uint64) string {
 	switch {
 	case size >= 1<<20:

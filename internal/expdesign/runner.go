@@ -11,6 +11,7 @@ import (
 	"mpquic/internal/netem/dynamics"
 	"mpquic/internal/sim"
 	"mpquic/internal/tcpsim"
+	"mpquic/internal/trace"
 )
 
 // Protocol identifies one of the four compared stacks.
@@ -80,6 +81,12 @@ type RunMetrics struct {
 	RTOs            uint64 `json:"rtos"`
 	// Paths holds one entry per path/subflow in creation order.
 	Paths []PathMetrics `json:"paths"`
+	// Series holds the run's per-path time series (cwnd, smoothed RTT,
+	// bytes in flight, cumulative bytes), recorded only when sampling
+	// was requested (RunOpts.SampleInterval > 0). The omitempty keeps
+	// artifacts of sampling-free grids byte-identical to earlier
+	// versions (the golden grid tests pin this).
+	Series []trace.PathSample `json:"series,omitempty"`
 }
 
 // quicMetrics snapshots a (MP)QUIC client/server pair.
@@ -251,10 +258,51 @@ func applyDynamics(clock *sim.Clock, rng *sim.Rand, tp *netem.TwoPathNet, sc Sce
 	}
 }
 
+// RunOpts configures the optional observability of a run. The zero
+// value disables everything, making RunWithOpts identical to Run.
+//
+// Determinism contract: every instrument here is a pure observer of
+// the simulation — arming any of them never changes a run's schedule,
+// timings or metrics. The only artifact-visible effect is the
+// RunMetrics.Series field, which is omitted when sampling is off.
+type RunOpts struct {
+	// SampleInterval, when positive, snapshots the sender-side (server)
+	// connection's per-path transport state at this simulated-time
+	// cadence into RunResult.Metrics.Series. At a fixed cadence the
+	// series is byte-reproducible across same-seed runs.
+	SampleInterval time.Duration
+	// Tracer, when non-nil, receives the run's protocol events from
+	// both endpoints plus the emulator's link lifecycle events.
+	Tracer trace.Tracer
+	// FlightEvents, when positive, arms a bounded flight recorder of
+	// this capacity over the same event stream. The ring is only ever
+	// dumped through FlightDump — healthy runs pay no trace I/O.
+	FlightEvents int
+	// RTOStorm, when positive, classifies a run with at least this many
+	// sender RTOs as anomalous ("rto_storm") even if it completed.
+	RTOStorm uint64
+	// FlightDump receives the armed flight recorder when the run ends
+	// anomalously. rep is the repetition index (0 under RunWithOpts;
+	// the actual index under RunMedianOpts); anomaly is one of
+	// "timeout" (deadline passed), "sim_error" (the simulator aborted)
+	// or "rto_storm" (RTOStorm threshold reached).
+	FlightDump func(rep int, anomaly string, rec *trace.FlightRecorder)
+
+	// rep is the repetition index reported to FlightDump; set by
+	// RunMedianOpts.
+	rep int
+}
+
 // Run executes one simulation: the given protocol downloading size
 // bytes over the scenario, with the connection initiated on startPath,
 // seeded with seed. Single-path protocols use startPath only.
 func Run(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64) RunResult {
+	return RunWithOpts(sc, proto, size, startPath, seed, RunOpts{})
+}
+
+// RunWithOpts is Run with observability instruments attached (see
+// RunOpts). With a zero opts it is exactly Run.
+func RunWithOpts(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64, opts RunOpts) RunResult {
 	clock := sim.NewClock()
 	clock.Limit = 400_000_000
 	specs := orderedSpecs(sc, startPath)
@@ -263,10 +311,27 @@ func Run(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64) R
 	applyDynamics(clock, rng, tp, sc, startPath)
 	deadline := deadlineFor(sc, proto, size, startPath)
 
+	// Arm the observers. The flight recorder rides the same tracer hook
+	// as a caller-supplied tracer; both see protocol and link events.
+	var fr *trace.FlightRecorder
+	tracer := opts.Tracer
+	if opts.FlightEvents > 0 {
+		fr = trace.NewFlightRecorder(opts.FlightEvents)
+		if tracer != nil {
+			tracer = trace.Multi{tracer, fr}
+		} else {
+			tracer = fr
+		}
+	}
+	if tracer != nil {
+		tp.SetTracer(tracer)
+	}
+
 	var (
 		done     *time.Duration
 		received func() uint64
 		collect  func() RunMetrics
+		sample   func(rec *trace.SeriesRecorder)
 	)
 	now := func() time.Duration { return clock.Now().Duration() }
 
@@ -279,6 +344,7 @@ func Run(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64) R
 			nPaths = 2
 		}
 		cfg.HandshakeSeed = seed
+		cfg.Tracer = tracer
 		lis := core.Listen(tp.Net, cfg, tp.ServerAddrs[:nPaths])
 		apps.NewGetServer(lis)
 		client := core.Dial(tp.Net, cfg, core.NewConnID(seed), tp.ClientAddrs[:nPaths], tp.ServerAddrs[:nPaths])
@@ -300,8 +366,14 @@ func Run(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64) R
 			}
 			return quicMetrics(client, server)
 		}
+		sample = func(rec *trace.SeriesRecorder) {
+			if conns := lis.Conns(); len(conns) > 0 {
+				conns[0].SampleInto(rec)
+			}
+		}
 	case ProtoTCP:
 		cfg := tcpsim.DefaultConfig()
+		cfg.Tracer = tracer
 		lis := tcpsim.ListenTCP(tp.Net, cfg, tp.ServerAddrs[0])
 		tcpsim.ServeGet(lis, size)
 		client := tcpsim.DialTCP(tp.Net, cfg, tp.ClientAddrs[0], tp.ServerAddrs[0])
@@ -318,8 +390,14 @@ func Run(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64) R
 			}
 			return tcpMetrics(client, server)
 		}
+		sample = func(rec *trace.SeriesRecorder) {
+			if conns := lis.Conns(); len(conns) > 0 {
+				conns[0].SampleInto(rec)
+			}
+		}
 	case ProtoMPTCP:
 		cfg := mptcpsim.DefaultConfig()
+		cfg.Tracer = tracer
 		lis := mptcpsim.ListenMPTCP(tp.Net, cfg, tp.ServerAddrs[:])
 		mptcpsim.ServeGet(lis, size)
 		client := mptcpsim.DialMPTCP(tp.Net, cfg, uint32(seed)|1, tp.ClientAddrs[:], tp.ServerAddrs[:])
@@ -336,24 +414,62 @@ func Run(sc Scenario, proto Protocol, size uint64, startPath int, seed uint64) R
 			}
 			return mptcpMetrics(client, server)
 		}
+		sample = func(rec *trace.SeriesRecorder) {
+			if conns := lis.Conns(); len(conns) > 0 {
+				conns[0].SampleInto(rec)
+			}
+		}
+	}
+
+	// The sampler is a recurring sim-clock timer polling the accepted
+	// server connection (the data sender in the GET grids). It only
+	// reads state, so the protocol schedule is untouched.
+	var series *trace.SeriesRecorder
+	if opts.SampleInterval > 0 {
+		series = trace.NewSeriesRecorder()
+		var st *sim.Timer
+		st = sim.NewTimer(clock, func() {
+			sample(series)
+			st.ResetAfter(opts.SampleInterval)
+		})
+		st.ResetAfter(opts.SampleInterval)
 	}
 
 	err := clock.RunUntil(sim.Time(deadline))
 	res := RunResult{}
 	res.Metrics = collect()
+	if series != nil {
+		res.Metrics.Series = series.Samples
+	}
 	if done != nil && err == nil {
 		res.Completed = true
 		res.Elapsed = *done
 		res.BytesRecvd = size
 		res.GoodputBps = float64(size) * 8 / res.Elapsed.Seconds()
-		return res
+	} else {
+		// Incomplete (or aborted) run: charge the deadline, credit what
+		// arrived. A goodput of ~0 maps to the paper's EBen = −1 "failed
+		// to transfer" notion.
+		res.Elapsed = deadline
+		res.BytesRecvd = received()
+		res.GoodputBps = float64(res.BytesRecvd) * 8 / deadline.Seconds()
 	}
-	// Incomplete (or aborted) run: charge the deadline, credit what
-	// arrived. A goodput of ~0 maps to the paper's EBen = −1 "failed
-	// to transfer" notion.
-	res.Elapsed = deadline
-	res.BytesRecvd = received()
-	res.GoodputBps = float64(res.BytesRecvd) * 8 / deadline.Seconds()
+	// Post-mortem: classify the run and hand the ring to the dumper.
+	// Healthy runs drop the recorder without any I/O.
+	if fr != nil && opts.FlightDump != nil {
+		anomaly := ""
+		switch {
+		case err != nil:
+			anomaly = "sim_error"
+		case done == nil:
+			anomaly = "timeout"
+		case opts.RTOStorm > 0 && res.Metrics.RTOs >= opts.RTOStorm:
+			anomaly = "rto_storm"
+		}
+		if anomaly != "" {
+			opts.FlightDump(opts.rep, anomaly, fr)
+		}
+	}
 	return res
 }
 
@@ -414,12 +530,22 @@ func RunMPQUICVariant(sc Scenario, cfg core.Config, size uint64, startPath int, 
 // another grid point's PRNG stream, and the same (point, rep) always
 // replays the same seed regardless of the configured rep count.
 func RunMedian(sc Scenario, proto Protocol, size uint64, startPath int, reps int, baseSeed uint64) RunResult {
+	return RunMedianOpts(sc, proto, size, startPath, reps, baseSeed, RunOpts{})
+}
+
+// RunMedianOpts is RunMedian with observability instruments attached
+// to every repetition (see RunOpts). FlightDump callbacks receive the
+// actual repetition index; the returned (median) run carries its own
+// repetition's Series.
+func RunMedianOpts(sc Scenario, proto Protocol, size uint64, startPath int, reps int, baseSeed uint64, opts RunOpts) RunResult {
 	if reps <= 0 {
 		reps = 1
 	}
 	results := make([]RunResult, reps)
 	for i := 0; i < reps; i++ {
-		results[i] = Run(sc, proto, size, startPath, baseSeed+uint64(i)*7919)
+		o := opts
+		o.rep = i
+		results[i] = RunWithOpts(sc, proto, size, startPath, baseSeed+uint64(i)*7919, o)
 	}
 	// Median by elapsed time.
 	best := results[0]

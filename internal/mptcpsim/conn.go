@@ -11,6 +11,7 @@ import (
 	"mpquic/internal/sim"
 	"mpquic/internal/stream"
 	"mpquic/internal/tcpsim"
+	"mpquic/internal/trace"
 )
 
 // Config tunes an MPTCP connection.
@@ -26,6 +27,12 @@ type Config struct {
 	ORP bool
 	// IdleTimeout aborts a silent connection.
 	IdleTimeout time.Duration
+	// Tracer receives lifecycle and recovery events (subflow opened,
+	// handshake done, RTO fired, segments lost, PF transitions, close)
+	// when non-nil. Events carry the subflow ID as the path. A tracer
+	// is a pure observer: attaching one never changes a run's schedule
+	// or results, and a nil tracer costs one branch per event.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig mirrors MPTCP v0.91 with the paper's settings.
@@ -111,6 +118,35 @@ func newConn(nw *netem.Network, cfg Config, isClient bool, token uint32, locals,
 }
 
 func (c *Conn) now() time.Duration { return c.clock.Now().Duration() }
+
+// trace emits ev when tracing is enabled, stamping the current time.
+func (c *Conn) trace(ev trace.Event) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	ev.Time = c.now()
+	c.cfg.Tracer.Trace(ev)
+}
+
+// SampleInto appends one PathSample per subflow (creation order) to
+// rec, stamped with the current simulated time. Sampling only reads
+// state; attaching a sampler never changes a run's schedule or
+// results.
+func (c *Conn) SampleInto(rec *trace.SeriesRecorder) {
+	now := c.now()
+	for _, sf := range c.subflows {
+		rec.Add(trace.PathSample{
+			T:          now,
+			Path:       sf.ID,
+			Cwnd:       sf.cc.Cwnd(),
+			SRTT:       sf.est.SmoothedRTT(),
+			InFlight:   sf.bytesInFlight,
+			BytesSent:  sf.SentBytes,
+			BytesAcked: sf.cumAcked,
+			SlowStart:  sf.cc.InSlowStart(),
+		})
+	}
+}
 
 // DialMPTCP starts a client connection: the initial subflow's 3-way
 // handshake (plus TLS) runs on locals[0]→remotes[0]; additional
@@ -307,6 +343,11 @@ func (c *Conn) closeWith(err error) {
 	for _, sf := range c.subflows {
 		sf.hsTimer.Stop()
 	}
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	c.trace(trace.Event{Type: trace.ConnClosed, Detail: detail})
 	if c.onClosed != nil {
 		c.onClosed(err)
 	}

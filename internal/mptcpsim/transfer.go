@@ -8,6 +8,7 @@ import (
 	"mpquic/internal/sim"
 	"mpquic/internal/stream"
 	"mpquic/internal/tcpsim"
+	"mpquic/internal/trace"
 )
 
 // --- handshake ---
@@ -118,9 +119,11 @@ func (c *Conn) subflowEstablished(sf *Subflow) {
 	sf.hsTimer.Stop()
 	sf.est.ResetBackoff()
 	sf.EstablishedAt = c.now()
+	c.trace(trace.Event{Type: trace.PathOpened, Path: sf.ID})
 	if sf.ID == 0 && !c.established {
 		c.established = true
 		c.Stats.EstablishedAt = c.now()
+		c.trace(trace.Event{Type: trace.HandshakeDone})
 		if c.isClient {
 			c.startJoins()
 		}
@@ -247,6 +250,7 @@ func (c *Conn) processSubflowAck(sf *Subflow, seg *tcpsim.Segment) {
 		sf.cc.OnPacketAcked(ackedBytes, sf.est.SmoothedRTT())
 		if sf.potentiallyFailed {
 			sf.potentiallyFailed = false // data acked: path works (§4.3)
+			c.trace(trace.Event{Type: trace.PathRecovered, Path: sf.ID})
 		}
 	}
 	// FACK loss detection.
@@ -274,6 +278,7 @@ func (c *Conn) processSubflowAck(sf *Subflow, seg *tcpsim.Segment) {
 			if r.txSeq > largestTx {
 				largestTx = r.txSeq
 			}
+			c.trace(trace.Event{Type: trace.PacketLost, Path: sf.ID, PN: r.txSeq, Size: r.wireSize})
 			sf.requeueLocal(r)
 		}
 		if !sf.hasCutback || largestTx >= sf.cutbackTx {
@@ -677,6 +682,7 @@ func (c *Conn) onSubflowRTO(sf *Subflow) {
 		}
 		r.settled = true
 		sf.SegmentsLost++
+		c.trace(trace.Event{Type: trace.PacketLost, Path: sf.ID, PN: r.txSeq, Size: r.wireSize})
 		if r.isRtx {
 			sf.liveRtx--
 		}
@@ -691,8 +697,10 @@ func (c *Conn) onSubflowRTO(sf *Subflow) {
 	sf.est.Backoff()
 	sf.cc.OnRTO()
 	sf.hasCutback = false
+	c.trace(trace.Event{Type: trace.RTOFired, Path: sf.ID, Cwnd: sf.cc.Cwnd()})
 	if len(c.eligible()) > 1 {
 		sf.potentiallyFailed = true
+		c.trace(trace.Event{Type: trace.PathFailed, Path: sf.ID})
 	}
 }
 

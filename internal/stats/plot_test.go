@@ -46,6 +46,33 @@ func TestAsciiBoxRendersOrdered(t *testing.T) {
 	}
 }
 
+func TestAsciiTimeSeriesRendersSeries(t *testing.T) {
+	out := AsciiTimeSeries(map[string][]Point{
+		"path 0": {{X: 0, Y: 10}, {X: 1, Y: 20}, {X: 2, Y: 40}},
+		"path 1": {{X: 0, Y: 5}, {X: 1, Y: 5}, {X: 2, Y: 5}},
+	}, 40, 8)
+	if !strings.Contains(out, "*") || !strings.Contains(out, "o") {
+		t.Fatalf("missing glyphs:\n%s", out)
+	}
+	if !strings.Contains(out, "path 0") || !strings.Contains(out, "path 1") {
+		t.Fatalf("missing legend:\n%s", out)
+	}
+	// Output must be deterministic (sorted series order).
+	if out != AsciiTimeSeries(map[string][]Point{
+		"path 1": {{X: 0, Y: 5}, {X: 1, Y: 5}, {X: 2, Y: 5}},
+		"path 0": {{X: 0, Y: 10}, {X: 1, Y: 20}, {X: 2, Y: 40}},
+	}, 40, 8) {
+		t.Fatal("rendering depends on map insertion order")
+	}
+}
+
+func TestAsciiTimeSeriesDegenerateInputs(t *testing.T) {
+	// Must not panic on empty input, single points, or odd dimensions.
+	_ = AsciiTimeSeries(nil, 5, 2)
+	_ = AsciiTimeSeries(map[string][]Point{"x": {}}, -1, -1)
+	_ = AsciiTimeSeries(map[string][]Point{"x": {{X: 3, Y: 0}}}, 30, 6)
+}
+
 func TestAsciiBoxMedianInsideBox(t *testing.T) {
 	out := AsciiBox(map[string]Box{"b": BoxOf([]float64{1, 2, 3, 4, 5})}, 0, 6, 30)
 	line := strings.Split(out, "\n")[0]

@@ -9,6 +9,7 @@ import (
 	"mpquic/internal/rtt"
 	"mpquic/internal/sim"
 	"mpquic/internal/stream"
+	"mpquic/internal/trace"
 )
 
 // Config tunes a TCP connection.
@@ -20,6 +21,12 @@ type Config struct {
 	TLS bool
 	// IdleTimeout aborts a silent connection. Zero disables.
 	IdleTimeout time.Duration
+	// Tracer receives lifecycle and recovery events (handshake done,
+	// RTO fired, segments lost, close) when non-nil. TCP is a single
+	// flow, so events carry path 0. A tracer is a pure observer:
+	// attaching one never changes a run's schedule or results, and a
+	// nil tracer costs one branch per event.
+	Tracer trace.Tracer
 }
 
 // DefaultConfig mirrors the paper's TCP setup.
@@ -150,6 +157,32 @@ func newTCPConn(nw *netem.Network, cfg Config, local, remote netem.Addr, isClien
 }
 
 func (c *Conn) now() time.Duration { return c.clock.Now().Duration() }
+
+// trace emits ev when tracing is enabled, stamping the current time.
+func (c *Conn) trace(ev trace.Event) {
+	if c.cfg.Tracer == nil {
+		return
+	}
+	ev.Time = c.now()
+	c.cfg.Tracer.Trace(ev)
+}
+
+// SampleInto appends one PathSample (path 0 — TCP is a single flow) to
+// rec, stamped with the current simulated time. Sampling only reads
+// state; attaching a sampler never changes a run's schedule or
+// results.
+func (c *Conn) SampleInto(rec *trace.SeriesRecorder) {
+	rec.Add(trace.PathSample{
+		T:          c.now(),
+		Path:       0,
+		Cwnd:       c.cc.Cwnd(),
+		SRTT:       c.est.SmoothedRTT(),
+		InFlight:   c.bytesInFlight,
+		BytesSent:  c.Stats.BytesSent,
+		BytesAcked: c.cumAcked,
+		SlowStart:  c.cc.InSlowStart(),
+	})
+}
 
 // DialTCP starts a client connection (SYN goes out immediately).
 func DialTCP(nw *netem.Network, cfg Config, local, remote netem.Addr) *Conn {

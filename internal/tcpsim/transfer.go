@@ -7,6 +7,7 @@ import (
 	"mpquic/internal/netem"
 	"mpquic/internal/sim"
 	"mpquic/internal/stream"
+	"mpquic/internal/trace"
 )
 
 // --- handshake ---
@@ -108,6 +109,7 @@ func (c *Conn) becomeEstablished() {
 	c.hsTimer.Stop()
 	c.est.ResetBackoff()
 	c.Stats.EstablishedAt = c.now()
+	c.trace(trace.Event{Type: trace.HandshakeDone})
 	if c.onEstablished != nil {
 		c.onEstablished()
 	}
@@ -255,6 +257,7 @@ func (c *Conn) processAck(seg *Segment) {
 		var largestTx uint64
 		for _, r := range lostRecords {
 			largestTx = max(largestTx, r.txSeq)
+			c.trace(trace.Event{Type: trace.PacketLost, PN: r.txSeq, Size: r.wireSize})
 			c.requeueRecord(r)
 		}
 		if !c.hasCutback || largestTx >= c.cutbackTx {
@@ -501,6 +504,7 @@ func (c *Conn) onRTO() {
 			}
 			r.settled = true
 			c.Stats.SegmentsLost++
+			c.trace(trace.Event{Type: trace.PacketLost, PN: r.txSeq, Size: r.wireSize})
 			if r.isRtx {
 				c.liveRtx--
 			}
@@ -511,6 +515,7 @@ func (c *Conn) onRTO() {
 		c.est.Backoff()
 		c.cc.OnRTO()
 		c.hasCutback = false
+		c.trace(trace.Event{Type: trace.RTOFired, Cwnd: c.cc.Cwnd()})
 		c.trySend()
 	}
 	c.armTimers()
@@ -554,6 +559,11 @@ func (c *Conn) closeWith(err error) {
 	c.closeErr = err
 	c.hsTimer.Stop()
 	c.rtoTimer.Stop()
+	detail := ""
+	if err != nil {
+		detail = err.Error()
+	}
+	c.trace(trace.Event{Type: trace.ConnClosed, Detail: detail})
 	if c.onClosed != nil {
 		c.onClosed(err)
 	}

@@ -1,0 +1,127 @@
+package trace
+
+import (
+	"bytes"
+	"encoding/json"
+	"strings"
+	"testing"
+	"time"
+)
+
+// sampleEvents is one representative event per EventType, in a
+// plausible order.
+func sampleEvents() []Event {
+	return []Event{
+		{Time: 0, Type: PathOpened, Path: 0, Detail: "c0->s0"},
+		{Time: 1 * time.Millisecond, Type: PacketSent, Path: 0, PN: 1, Size: 1350},
+		{Time: 16 * time.Millisecond, Type: PacketReceived, Path: 0, PN: 1, Size: 1350},
+		{Time: 17 * time.Millisecond, Type: HandshakeDone},
+		{Time: 18 * time.Millisecond, Type: PathOpened, Path: 1, Detail: "c1->s1"},
+		{Time: 31 * time.Millisecond, Type: PacketAcked, Path: 0, PN: 1, Size: 1350, SRTT: 30 * time.Millisecond},
+		{Time: 31 * time.Millisecond, Type: CwndUpdated, Path: 0, Cwnd: 15000, SRTT: 30 * time.Millisecond},
+		{Time: 40 * time.Millisecond, Type: PacketLost, Path: 1, PN: 2, Size: 1350},
+		{Time: 250 * time.Millisecond, Type: RTOFired, Path: 1, Cwnd: 2756},
+		{Time: 251 * time.Millisecond, Type: PathFailed, Path: 1},
+		{Time: 300 * time.Millisecond, Type: LinkDown, Path: 1},
+		{Time: 400 * time.Millisecond, Type: LinkUp, Path: 1},
+		{Time: 410 * time.Millisecond, Type: LinkReconfigured, Path: 0, Detail: "rate=5Mbps"},
+		{Time: 500 * time.Millisecond, Type: PathRecovered, Path: 1},
+		{Time: 600 * time.Millisecond, Type: ConnClosed, Detail: "done"},
+	}
+}
+
+func TestQlogValidJSONLAndDeterministic(t *testing.T) {
+	render := func() []byte {
+		var buf bytes.Buffer
+		q := NewQlog(&buf, "server")
+		for _, ev := range sampleEvents() {
+			q.Trace(ev)
+		}
+		if err := q.Err(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	a, b := render(), render()
+	if !bytes.Equal(a, b) {
+		t.Fatal("qlog output differs between identical event streams")
+	}
+	lines := strings.Split(strings.TrimRight(string(a), "\n"), "\n")
+	if want := len(sampleEvents()) + 1; len(lines) != want {
+		t.Fatalf("qlog lines = %d, want %d (header + events)", len(lines), want)
+	}
+	var header struct {
+		QlogVersion string `json:"qlog_version"`
+		QlogFormat  string `json:"qlog_format"`
+	}
+	if err := json.Unmarshal([]byte(lines[0]), &header); err != nil {
+		t.Fatalf("header line: %v", err)
+	}
+	if header.QlogVersion == "" || header.QlogFormat != "JSON-SEQ" {
+		t.Fatalf("header = %+v, want qlog_version set and JSON-SEQ format", header)
+	}
+	for i, line := range lines[1:] {
+		var rec struct {
+			Time *float64        `json:"time"`
+			Name string          `json:"name"`
+			Data json.RawMessage `json:"data"`
+		}
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d: %v", i+1, err)
+		}
+		if rec.Time == nil || rec.Name == "" {
+			t.Fatalf("line %d: missing time or name: %s", i+1, line)
+		}
+		if !strings.Contains(rec.Name, ":") {
+			t.Errorf("line %d: event name %q has no category prefix", i+1, rec.Name)
+		}
+	}
+}
+
+// Every event type must map to a namespaced qlog name — a new
+// EventType that falls through to the fallback is fine, but must still
+// produce a category-prefixed name.
+func TestQlogEventNameCoversAllTypes(t *testing.T) {
+	seenMetrics := false
+	for _, et := range AllEventTypes() {
+		name := QlogEventName(et)
+		if !strings.Contains(name, ":") {
+			t.Errorf("QlogEventName(%s) = %q, want category:event", et, name)
+		}
+		if name == "recovery:metrics_updated" {
+			seenMetrics = true
+		}
+	}
+	if !seenMetrics {
+		t.Error("no event type maps to recovery:metrics_updated — cwnd/RTT series would be missing from qlog")
+	}
+}
+
+// The cwnd/RTT series acceptance shape: CwndUpdated events must carry
+// path_id, congestion_window and smoothed_rtt through the qlog
+// encoding.
+func TestQlogMetricsUpdatedFields(t *testing.T) {
+	var buf bytes.Buffer
+	q := NewQlog(&buf, "server")
+	q.Trace(Event{Time: time.Second, Type: CwndUpdated, Path: 1, Cwnd: 30000, SRTT: 45 * time.Millisecond})
+	lines := strings.Split(strings.TrimRight(buf.String(), "\n"), "\n")
+	var rec struct {
+		Data struct {
+			PathID           *uint8   `json:"path_id"`
+			CongestionWindow int      `json:"congestion_window"`
+			SmoothedRTT      *float64 `json:"smoothed_rtt"`
+		} `json:"data"`
+	}
+	if err := json.Unmarshal([]byte(lines[len(lines)-1]), &rec); err != nil {
+		t.Fatal(err)
+	}
+	if rec.Data.PathID == nil || *rec.Data.PathID != 1 {
+		t.Errorf("path_id = %v, want 1", rec.Data.PathID)
+	}
+	if rec.Data.CongestionWindow != 30000 {
+		t.Errorf("congestion_window = %d, want 30000", rec.Data.CongestionWindow)
+	}
+	if rec.Data.SmoothedRTT == nil || *rec.Data.SmoothedRTT != 45 {
+		t.Errorf("smoothed_rtt = %v, want 45 ms", rec.Data.SmoothedRTT)
+	}
+}

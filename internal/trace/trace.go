@@ -2,10 +2,23 @@
 // stacks — the reproduction's equivalent of qlog. A Tracer receives
 // typed events (packets sent/received/acked/lost, congestion-window
 // updates, path lifecycle, handshake milestones) and writers render
-// them as human-readable text or newline-delimited JSON.
+// them as human-readable text, newline-delimited JSON, or
+// qlog-compatible JSONL (Qlog). Beyond event streams, the package
+// holds the two observability primitives the experiment grids build
+// on: the per-path time-series sampler (PathSample/SeriesRecorder) and
+// the bounded post-mortem ring buffer (FlightRecorder).
 //
 // Tracing is opt-in per connection (Config.Tracer); a nil tracer costs
-// one branch per event.
+// one branch per event and zero allocations on the hot send/receive
+// path (enforced by the allocation-budget tests in internal/perf).
+//
+// Determinism contract: every timestamp in this package is simulated
+// time (time.Duration since the run's start) — wall clocks are banned
+// repo-wide by the `mpq-vet walltime` analyzer — and every encoder
+// writes through fixed-field structs in a fixed order. Two runs with
+// equal seeds therefore produce byte-identical traces, series and
+// dumps. The full event schema, the qlog mapping and the sampling
+// semantics are documented in OBSERVABILITY.md.
 package trace
 
 import (
@@ -43,6 +56,20 @@ const (
 	LinkReconfigured EventType = "link_reconfigured"
 )
 
+// AllEventTypes returns every EventType this package defines, in
+// declaration order. It is the registry the documentation linter
+// (scripts/doclint.go) checks OBSERVABILITY.md against and the qlog
+// tests enumerate; extend it when adding an event type.
+func AllEventTypes() []EventType {
+	return []EventType{
+		PacketSent, PacketReceived, PacketAcked, PacketLost,
+		CwndUpdated, RTOFired,
+		PathOpened, PathFailed, PathRecovered,
+		HandshakeDone, ConnClosed,
+		LinkDown, LinkUp, LinkReconfigured,
+	}
+}
+
 // Event is one trace record. Fields irrelevant to a given type are
 // zero.
 type Event struct {
@@ -56,7 +83,10 @@ type Event struct {
 	Detail string        `json:"detail,omitempty"`
 }
 
-// Tracer consumes events.
+// Tracer consumes events. Implementations must not mutate simulation
+// state: a tracer is a pure observer, and attaching or detaching one
+// must never change a run's schedule or results (the golden grid tests
+// pin this — artifacts are byte-identical with tracing on or off).
 type Tracer interface {
 	Trace(ev Event)
 }
@@ -67,7 +97,8 @@ type Nop struct{}
 // Trace implements Tracer.
 func (Nop) Trace(Event) {}
 
-// Text renders events as aligned text lines.
+// Text renders events as aligned text lines. Output is a pure
+// function of the event stream (byte-identical across same-seed runs).
 type Text struct {
 	W io.Writer
 }
@@ -93,7 +124,10 @@ func (t *Text) Trace(ev Event) {
 	fmt.Fprintln(t.W)
 }
 
-// JSON renders events as newline-delimited JSON (qlog-lite).
+// JSON renders events as newline-delimited JSON (qlog-lite: this
+// package's own Event encoding, one object per line). For the
+// qvis-loadable qlog shape use Qlog instead. Output is a pure function
+// of the event stream.
 type JSON struct {
 	W   io.Writer
 	enc *json.Encoder
@@ -108,6 +142,9 @@ func NewJSON(w io.Writer) *JSON {
 func (j *JSON) Trace(ev Event) { _ = j.enc.Encode(ev) }
 
 // Counter aggregates event counts — useful in tests and summaries.
+// Counts and ByPath are maps; iterate them through sorted keys when
+// rendering (see the `mpq-vet maporder` analyzer) to keep output
+// deterministic.
 type Counter struct {
 	Counts map[EventType]int
 	ByPath map[uint8]map[EventType]int

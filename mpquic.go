@@ -19,6 +19,11 @@
 // the internal packages so applications (see examples/) can drive
 // everything through a single import.
 //
+// Everything runs in virtual time on a deterministic event loop: runs
+// with equal seeds are bit-for-bit reproducible, including their
+// traces (see OBSERVABILITY.md), and attaching any observability
+// instrument never changes a run.
+//
 // # Quick start
 //
 //	net := mpquic.NewTwoPathNetwork(mpquic.TwoPathConfig{
@@ -37,12 +42,14 @@ package mpquic
 
 import (
 	"errors"
+	"io"
 	"time"
 
 	"mpquic/internal/apps"
 	"mpquic/internal/core"
 	"mpquic/internal/netem"
 	"mpquic/internal/sim"
+	"mpquic/internal/trace"
 )
 
 // Re-exported core types. See the internal packages for full
@@ -243,54 +250,42 @@ func (n *Network) StartRequestTrain(client *Conn, total time.Duration) *ReqRespC
 	return apps.NewReqRespClient(client, n.clock, total)
 }
 
-// --- Deprecated free-function facade ---
+// --- Observability ---
 //
-// The original facade exposed these as free functions taking the
-// network as their first argument. They forward to the method API and
-// will be removed one release after its introduction.
+// Tracing, time series and flight recording are documented in
+// OBSERVABILITY.md. All instruments are pure observers of the
+// simulation: attaching any of them never changes a run's schedule or
+// results, and all timestamps are virtual time (never wall clocks), so
+// same-seed runs produce byte-identical traces.
 
-// Listen starts a (MP)QUIC server on the network's server addresses.
-//
-// Deprecated: use [Network.Listen].
-func Listen(n *Network, cfg Config) *Listener { return n.Listen(cfg) }
+// Tracer consumes protocol and link events; see OBSERVABILITY.md for
+// the event vocabulary.
+type Tracer = trace.Tracer
 
-// Dial opens a client connection over the network.
-//
-// Deprecated: use [Network.Dial].
-func Dial(n *Network, cfg Config, connID uint64) *Conn { return n.Dial(cfg, connID) }
+// Event is one trace record.
+type Event = trace.Event
 
-// DialPartial opens a multipath client knowing only the server's first
-// address.
-//
-// Deprecated: use [Network.DialPartial].
-func DialPartial(n *Network, cfg Config, connID uint64) *Conn { return n.DialPartial(cfg, connID) }
+// FlightRecorder is a bounded ring of the most recent events, dumped
+// only on anomaly — the post-mortem tracer.
+type FlightRecorder = trace.FlightRecorder
 
-// ServeGet attaches the paper's GET file server to a listener.
-//
-// Deprecated: use [Network.ServeGet].
-func ServeGet(l *Listener) { apps.NewGetServer(l) }
+// NewTextTracer renders events as aligned text lines on w.
+func NewTextTracer(w io.Writer) Tracer { return trace.NewText(w) }
 
-// ServeEcho attaches the §4.3 request/response responder.
-//
-// Deprecated: use [Network.ServeEcho].
-func ServeEcho(l *Listener) { apps.NewEchoServer(l) }
+// NewJSONTracer renders events as newline-delimited JSON on w.
+func NewJSONTracer(w io.Writer) Tracer { return trace.NewJSON(w) }
 
-// Download runs a blocking GET of size bytes; a nil result means the
-// transfer did not finish in time.
-//
-// Deprecated: use [Network.Download], which returns a typed ErrTimeout
-// instead of a nil pointer.
-func Download(n *Network, client *Conn, size uint64) *GetResult {
-	res, err := n.Download(client, size)
-	if err != nil {
-		return nil
-	}
-	return &res
-}
+// NewQlogTracer renders events as qlog-compatible JSON-SEQ on w,
+// loadable in qlog tooling such as qvis. vantage names the traced
+// endpoint ("client" or "server").
+func NewQlogTracer(w io.Writer, vantage string) Tracer { return trace.NewQlog(w, vantage) }
 
-// StartRequestTrain fires the §4.3 request train.
-//
-// Deprecated: use [Network.StartRequestTrain].
-func StartRequestTrain(n *Network, client *Conn, total time.Duration) *ReqRespClient {
-	return n.StartRequestTrain(client, total)
-}
+// NewFlightRecorder builds a flight recorder retaining the last
+// capacity events (a default capacity if capacity <= 0).
+func NewFlightRecorder(capacity int) *FlightRecorder { return trace.NewFlightRecorder(capacity) }
+
+// SetLinkTracer attaches t to every emulated link, so link lifecycle
+// events (link_down, link_up, link_reconfigured) interleave with the
+// protocol events of any connection tracing to the same tracer. Set
+// Config.Tracer on the endpoints for the protocol side.
+func (n *Network) SetLinkTracer(t Tracer) { n.tp.SetTracer(t) }

@@ -13,15 +13,22 @@ func twoPath(seed uint64) *Network {
 	})
 }
 
+// download runs a GET and fails the test on any error.
+func download(t *testing.T, net *Network, client *Conn, size uint64) GetResult {
+	t.Helper()
+	res, err := net.Download(client, size)
+	if err != nil {
+		t.Fatalf("download failed: %v", err)
+	}
+	return res
+}
+
 func TestFacadeDownload(t *testing.T) {
 	net := twoPath(1)
-	server := Listen(net, DefaultConfig())
-	ServeGet(server)
-	client := Dial(net, DefaultConfig(), 1)
-	res := Download(net, client, 4<<20)
-	if res == nil {
-		t.Fatal("download failed")
-	}
+	server := net.Listen(DefaultConfig())
+	net.ServeGet(server)
+	client := net.Dial(DefaultConfig(), 1)
+	res := download(t, net, client, 4<<20)
 	if res.GoodputBps() < 10e6 {
 		t.Fatalf("no aggregation through the facade: %.2f Mbps", res.GoodputBps()/1e6)
 	}
@@ -32,13 +39,10 @@ func TestFacadeDownload(t *testing.T) {
 
 func TestFacadeSinglePath(t *testing.T) {
 	net := twoPath(2)
-	server := Listen(net, SinglePathConfig())
-	ServeGet(server)
-	client := Dial(net, SinglePathConfig(), 2)
-	res := Download(net, client, 1<<20)
-	if res == nil {
-		t.Fatal("download failed")
-	}
+	server := net.Listen(SinglePathConfig())
+	net.ServeGet(server)
+	client := net.Dial(SinglePathConfig(), 2)
+	res := download(t, net, client, 1<<20)
 	if len(client.Paths()) != 1 {
 		t.Fatalf("%d paths on single-path config", len(client.Paths()))
 	}
@@ -50,14 +54,10 @@ func TestFacadeSinglePath(t *testing.T) {
 func TestFacadeDeterminism(t *testing.T) {
 	run := func() time.Duration {
 		net := twoPath(7)
-		server := Listen(net, DefaultConfig())
-		ServeGet(server)
-		client := Dial(net, DefaultConfig(), 7)
-		res := Download(net, client, 2<<20)
-		if res == nil {
-			t.Fatal("download failed")
-		}
-		return res.Elapsed()
+		server := net.Listen(DefaultConfig())
+		net.ServeGet(server)
+		client := net.Dial(DefaultConfig(), 7)
+		return download(t, net, client, 2<<20).Elapsed()
 	}
 	if a, b := run(), run(); a != b {
 		t.Fatalf("same seed, different results: %v vs %v", a, b)
@@ -66,10 +66,10 @@ func TestFacadeDeterminism(t *testing.T) {
 
 func TestFacadeHandoverTrain(t *testing.T) {
 	net := twoPath(3)
-	server := Listen(net, DefaultConfig())
-	ServeEcho(server)
-	client := Dial(net, DefaultConfig(), 3)
-	train := StartRequestTrain(net, client, 5*time.Second)
+	server := net.Listen(DefaultConfig())
+	net.ServeEcho(server)
+	client := net.Dial(DefaultConfig(), 3)
+	train := net.StartRequestTrain(client, 5*time.Second)
 	net.At(2*time.Second, func() { net.KillPath(0) })
 	if err := net.RunFor(8 * time.Second); err != nil {
 		t.Fatal(err)
@@ -83,13 +83,10 @@ func TestFacadeDialPartialWithAdvertise(t *testing.T) {
 	net := twoPath(4)
 	cfg := DefaultConfig()
 	cfg.AdvertiseAddresses = true
-	server := Listen(net, cfg)
-	ServeGet(server)
-	client := DialPartial(net, DefaultConfig(), 4)
-	res := Download(net, client, 2<<20)
-	if res == nil {
-		t.Fatal("download failed")
-	}
+	server := net.Listen(cfg)
+	net.ServeGet(server)
+	client := net.DialPartial(DefaultConfig(), 4)
+	download(t, net, client, 2<<20)
 	if len(client.Paths()) != 2 {
 		t.Fatalf("ADD_ADDRESS did not open the second path (%d paths)", len(client.Paths()))
 	}
@@ -123,11 +120,9 @@ func TestFacadeSchedulerAndCCVariants(t *testing.T) {
 		cfg := DefaultConfig()
 		v.mut(&cfg)
 		net := twoPath(100)
-		server := Listen(net, cfg)
-		ServeGet(server)
-		client := Dial(net, cfg, 100)
-		if res := Download(net, client, 1<<20); res == nil {
-			t.Fatalf("%s: download failed", v.name)
-		}
+		server := net.Listen(cfg)
+		net.ServeGet(server)
+		client := net.Dial(cfg, 100)
+		download(t, net, client, 1<<20)
 	}
 }

@@ -23,6 +23,9 @@ go vet ./...
 echo "== mpq-vet"
 go run ./cmd/mpq-vet ./...
 
+echo "== doclint"
+go run ./scripts/doclint.go
+
 # Optional linters: run when present on PATH, skip (loudly) when not.
 # CI installs pinned versions; local sandboxes without network access
 # still get the full first-party gate above.
