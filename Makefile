@@ -1,7 +1,7 @@
 # Convenience targets; see scripts/check.sh for the pre-commit gate and
 # scripts/bench.sh for the perf harness.
 
-.PHONY: build test vet doclint fuzz-smoke bench bench-smoke check
+.PHONY: build test vet doclint fuzz-smoke bench bench-smoke live-smoke check
 
 build:
 	go build ./...
@@ -25,6 +25,9 @@ bench:
 
 bench-smoke:
 	sh scripts/bench.sh -smoke
+
+live-smoke:
+	sh scripts/live_smoke.sh
 
 check:
 	sh scripts/check.sh

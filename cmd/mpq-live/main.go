@@ -1,0 +1,338 @@
+// Command mpq-live runs the MPQUIC stack over real UDP sockets — the
+// same protocol core the simulator drives, attached to a wall clock
+// and the kernel's network stack (internal/live).
+//
+// Server (serves N-byte GETs on one socket per path address):
+//
+//	mpq-live -server -listen 127.0.0.1:4433,127.0.0.1:4434
+//
+// Client (downloads -size bytes over one path per -connect address):
+//
+//	mpq-live -connect 127.0.0.1:4433,127.0.0.1:4434 -size 10000000
+//
+// The client prints RunMetrics-equivalent output: handshake time,
+// transfer time, goodput, and per-path bytes, cwnd and smoothed RTT.
+// -json emits the same metrics as a single JSON object for scripts.
+// -qlog writes a qlog JSON-SEQ trace of the endpoint (timestamps are
+// wall-derived: sim time in live mode is elapsed wall time since the
+// driver loop started).
+package main
+
+import (
+	"encoding/json"
+	"errors"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"strings"
+	"syscall"
+	"time"
+
+	"mpquic/internal/apps"
+	"mpquic/internal/core"
+	"mpquic/internal/live"
+	"mpquic/internal/netem"
+	"mpquic/internal/trace"
+)
+
+func main() {
+	var (
+		server  = flag.Bool("server", false, "run as server (serve GETs until interrupted)")
+		listen  = flag.String("listen", "127.0.0.1:4433", "server: comma-separated local addresses, one per path")
+		connect = flag.String("connect", "", "client: comma-separated server addresses, one per path")
+		local   = flag.String("local", "", "client: comma-separated local addresses (default 127.0.0.1:0 per path)")
+		size    = flag.Uint64("size", 10<<20, "client: transfer size in bytes")
+		timeout = flag.Duration("timeout", 60*time.Second, "client: wall deadline for the transfer")
+		idle    = flag.Duration("idle", 30*time.Second, "connection idle timeout")
+		crypto  = flag.Bool("crypto", true, "AEAD-protect packets")
+		qlog    = flag.String("qlog", "", "write a qlog JSON-SEQ trace to this file")
+		jsonOut = flag.Bool("json", false, "client: print metrics as one JSON object")
+		once    = flag.Bool("once", false, "server: exit after the first connection closes")
+		wantAgg = flag.Bool("expect-aggregation", false,
+			"client: exit nonzero unless every path carried data and the aggregate beats the best single path")
+	)
+	flag.Parse()
+
+	var err error
+	if *server {
+		err = runServer(splitAddrs(*listen), *idle, *crypto, *qlog, *once)
+	} else {
+		if *connect == "" {
+			fmt.Fprintln(os.Stderr, "mpq-live: need -server or -connect (see -h)")
+			os.Exit(2)
+		}
+		err = runClient(clientOpts{
+			remotes: splitAddrs(*connect),
+			locals:  splitAddrs(*local),
+			size:    *size,
+			timeout: *timeout,
+			idle:    *idle,
+			crypto:  *crypto,
+			qlog:    *qlog,
+			json:    *jsonOut,
+			wantAgg: *wantAgg,
+		})
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mpq-live:", err)
+		os.Exit(1)
+	}
+}
+
+func splitAddrs(s string) []string {
+	if s == "" {
+		return nil
+	}
+	parts := strings.Split(s, ",")
+	out := parts[:0]
+	for _, p := range parts {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
+}
+
+// liveConfig builds the core config both roles share: wire
+// serialization is mandatory over real sockets, multipath tracks the
+// number of bound addresses.
+func liveConfig(nPaths int, idle time.Duration, crypto bool, tracer trace.Tracer) core.Config {
+	cfg := core.DefaultConfig()
+	if nPaths == 1 {
+		cfg = core.DefaultSinglePathConfig()
+	}
+	cfg.MaxPaths = nPaths
+	cfg.WireSerialization = true
+	cfg.EnableCrypto = crypto
+	cfg.IdleTimeout = idle
+	cfg.Tracer = tracer
+	return cfg
+}
+
+// openQlog opens the trace file and returns the tracer (nil when path
+// is empty) plus a flush-and-close func.
+func openQlog(path, vantage string) (trace.Tracer, func() error, error) {
+	if path == "" {
+		return nil, func() error { return nil }, nil
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	q := trace.NewQlog(f, vantage)
+	return q, func() error {
+		if err := q.Err(); err != nil {
+			f.Close()
+			return err
+		}
+		return f.Close()
+	}, nil
+}
+
+func runServer(addrs []string, idle time.Duration, crypto bool, qlogPath string, once bool) error {
+	d, err := live.NewDriver(addrs)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	tracer, closeQlog, err := openQlog(qlogPath, "server")
+	if err != nil {
+		return err
+	}
+
+	lis := core.Listen(d, liveConfig(len(addrs), idle, crypto, tracer), d.LocalAddrs())
+	apps.NewGetServer(lis)
+	// Connection lifecycle logging, plus the -once exit condition.
+	accepted, closed := 0, 0
+	lis.OnConnection(func(c *core.Conn) {
+		accepted++
+		fmt.Fprintf(os.Stderr, "accepted connection %d\n", accepted)
+		c.OnClosed(func(error) { closed++ })
+	})
+
+	// The bound addresses (port 0 resolves here) go to stdout so a
+	// wrapper script can read them before pointing clients at us.
+	fmt.Printf("listening %s\n", joinAddrs(d.LocalAddrs()))
+
+	sigCh := make(chan os.Signal, 1)
+	signal.Notify(sigCh, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		<-sigCh
+		d.Close()
+	}()
+
+	err = d.Run(func() bool { return once && closed > 0 })
+	if errors.Is(err, live.ErrClosed) {
+		err = nil // interrupted: a clean exit for a server
+	}
+	if err != nil {
+		closeQlog()
+		return err
+	}
+	d.Flush() // any final CONNECTION_CLOSE queued after the loop ended
+	return closeQlog()
+}
+
+// clientMetrics is the RunMetrics-equivalent report for a live
+// transfer. Durations are wall-derived sim times (seconds).
+type clientMetrics struct {
+	Size          uint64        `json:"size_bytes"`
+	HandshakeSecs float64       `json:"handshake_s"`
+	TransferSecs  float64       `json:"transfer_s"`
+	GoodputMbps   float64       `json:"goodput_mbps"`
+	AggregateMbps float64       `json:"aggregate_mbps"`
+	BestPathMbps  float64       `json:"best_path_mbps"`
+	Paths         []pathMetrics `json:"paths"`
+	PacketsIn     uint64        `json:"packets_in"`
+	PacketsOut    uint64        `json:"packets_out"`
+}
+
+type pathMetrics struct {
+	ID        uint8   `json:"id"`
+	Local     string  `json:"local"`
+	Remote    string  `json:"remote"`
+	RecvBytes uint64  `json:"recv_bytes"`
+	SentBytes uint64  `json:"sent_bytes"`
+	CwndBytes int     `json:"cwnd_bytes"`
+	SRTTms    float64 `json:"srtt_ms"`
+	Mbps      float64 `json:"mbps"`
+}
+
+// clientOpts bundles the client-side flag values.
+type clientOpts struct {
+	remotes []string
+	locals  []string
+	size    uint64
+	timeout time.Duration
+	idle    time.Duration
+	crypto  bool
+	qlog    string
+	json    bool
+	wantAgg bool
+}
+
+func runClient(o clientOpts) error {
+	locals := o.locals
+	if len(locals) == 0 {
+		locals = make([]string, len(o.remotes))
+		for i := range locals {
+			locals[i] = "127.0.0.1:0"
+		}
+	}
+	if len(locals) != len(o.remotes) {
+		return fmt.Errorf("need one -local address per -connect address (%d vs %d)", len(locals), len(o.remotes))
+	}
+	d, err := live.NewDriver(locals)
+	if err != nil {
+		return err
+	}
+	defer d.Close()
+	tracer, closeQlog, err := openQlog(o.qlog, "client")
+	if err != nil {
+		return err
+	}
+
+	remoteAddrs := make([]netem.Addr, len(o.remotes))
+	for i, r := range o.remotes {
+		remoteAddrs[i] = netem.Addr(r)
+	}
+	cfg := liveConfig(len(o.remotes), o.idle, o.crypto, tracer)
+	conn := core.Dial(d, cfg, core.NewConnID(uint64(os.Getpid())), d.LocalAddrs(), remoteAddrs)
+
+	res, err := live.Download(d, conn, o.size, o.timeout)
+	if err != nil {
+		closeQlog()
+		return err
+	}
+
+	m := clientMetrics{
+		Size:          res.Size,
+		HandshakeSecs: res.HandshakeDone.Seconds(),
+		TransferSecs:  res.Elapsed().Seconds(),
+		PacketsIn:     d.Stats.PacketsIn,
+		PacketsOut:    d.Stats.PacketsOut,
+	}
+	if s := m.TransferSecs; s > 0 {
+		m.GoodputMbps = float64(res.Size) * 8 / s / 1e6
+	}
+	for _, p := range conn.Paths() {
+		pm := pathMetrics{
+			ID:        uint8(p.ID),
+			Local:     string(p.Local),
+			Remote:    string(p.Remote),
+			RecvBytes: p.RecvBytes,
+			SentBytes: p.SentBytes,
+			CwndBytes: p.CC().Cwnd(),
+			SRTTms:    float64(p.RTT().SmoothedRTT()) / float64(time.Millisecond),
+		}
+		if s := m.TransferSecs; s > 0 {
+			pm.Mbps = float64(p.RecvBytes) * 8 / s / 1e6
+		}
+		// AggregateMbps sums raw per-path arrival rates (retransmits
+		// included) so "aggregate vs best single path" compares like
+		// with like; GoodputMbps is application bytes only.
+		m.AggregateMbps += pm.Mbps
+		if pm.Mbps > m.BestPathMbps {
+			m.BestPathMbps = pm.Mbps
+		}
+		m.Paths = append(m.Paths, pm)
+	}
+
+	if o.json {
+		enc := json.NewEncoder(os.Stdout)
+		if err := enc.Encode(m); err != nil {
+			closeQlog()
+			return err
+		}
+	} else {
+		printMetrics(m)
+	}
+	conn.Close()
+	d.Flush() // deliver the CONNECTION_CLOSE before the socket drops
+	if err := closeQlog(); err != nil {
+		return err
+	}
+	if o.wantAgg {
+		return checkAggregation(m)
+	}
+	return nil
+}
+
+// checkAggregation enforces the multipath benefit the smoke harness
+// asserts: every path carried data, and the summed per-path rate beats
+// the best single path.
+func checkAggregation(m clientMetrics) error {
+	if len(m.Paths) < 2 {
+		return fmt.Errorf("aggregation check: only %d path(s)", len(m.Paths))
+	}
+	for _, p := range m.Paths {
+		if p.RecvBytes == 0 {
+			return fmt.Errorf("aggregation check: path %d carried no data", p.ID)
+		}
+	}
+	if m.AggregateMbps <= m.BestPathMbps {
+		return fmt.Errorf("aggregation check: aggregate %.2f Mbps does not beat best path %.2f Mbps",
+			m.AggregateMbps, m.BestPathMbps)
+	}
+	return nil
+}
+
+func printMetrics(m clientMetrics) {
+	fmt.Printf("transfer     %d bytes in %.3f s (%.2f Mbps goodput)\n", m.Size, m.TransferSecs, m.GoodputMbps)
+	fmt.Printf("handshake    %.1f ms\n", m.HandshakeSecs*1e3)
+	fmt.Printf("packets      in %d, out %d\n", m.PacketsIn, m.PacketsOut)
+	for _, p := range m.Paths {
+		fmt.Printf("path %d       %s -> %s: recv %d B (%.2f Mbps), sent %d B, cwnd %d B, srtt %.1f ms\n",
+			p.ID, p.Local, p.Remote, p.RecvBytes, p.Mbps, p.SentBytes, p.CwndBytes, p.SRTTms)
+	}
+	fmt.Printf("best path    %.2f Mbps of %.2f Mbps aggregate\n", m.BestPathMbps, m.AggregateMbps)
+}
+
+func joinAddrs(addrs []netem.Addr) string {
+	parts := make([]string, len(addrs))
+	for i, a := range addrs {
+		parts[i] = string(a)
+	}
+	return strings.Join(parts, ",")
+}

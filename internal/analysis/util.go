@@ -12,6 +12,7 @@ const (
 	wirePkgPath  = "mpquic/internal/wire"
 	netemPkgPath = "mpquic/internal/netem"
 	perfPkgPath  = "mpquic/internal/perf"
+	livePkgPath  = "mpquic/internal/live"
 )
 
 // pkgFunc reports whether call invokes the function fn from the

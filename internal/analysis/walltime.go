@@ -6,11 +6,15 @@ import (
 
 // walltimeAllowedPkgs are the packages where reading the wall clock is
 // legitimate: the perf harness measures real elapsed time by design,
-// and cmd tools must reach it through perf's helpers (Stopwatch) so
-// every wall-clock read in the tree is funnelled through one audited
-// package rather than blanket-excluding cmd/.
+// and the live driver's whole job is mapping wall time onto sim time
+// (it pins the epoch with time.Now and arms wake-ups with
+// time.NewTimer). cmd tools must reach wall time through those two
+// packages' helpers (perf.Stopwatch, live.Driver) so every wall-clock
+// read in the tree is funnelled through audited packages rather than
+// blanket-excluding cmd/.
 var walltimeAllowedPkgs = map[string]bool{
 	perfPkgPath: true,
+	livePkgPath: true,
 }
 
 // walltimeBanned are the time-package functions that read or depend on

@@ -12,35 +12,44 @@ func TestWalltime(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Walltime, "walltime")
 }
 
-// TestWalltimeAllowlist loads the same wall-clock-reading code twice:
-// under the perf package's import path (allowlisted, no findings) and
-// under a plain path (two findings). This proves the allowlist is
-// path-based, not accidental.
+// TestWalltimeAllowlist loads the same wall-clock-reading code under
+// each allowlisted import path (no findings) and under non-allowlisted
+// paths (two findings each). This proves the allowlist is path-based,
+// not accidental, and that adding internal/live to it did not widen
+// the exemption anywhere else — a core-like path still fires.
 func TestWalltimeAllowlist(t *testing.T) {
 	root := moduleRoot(t)
 	dir := filepath.Join("testdata", "src", "perfpkg")
 
-	asPerf, err := analysis.LoadFromDir(root, dir, "mpquic/internal/perf")
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags, err := analysis.RunAnalyzers(asPerf, []*analysis.Analyzer{analysis.Walltime})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(diags) != 0 {
-		t.Errorf("allowlisted perf package produced %d findings, want 0: %v", len(diags), diags)
+	allowed := []string{"mpquic/internal/perf", "mpquic/internal/live"}
+	for _, path := range allowed {
+		as, err := analysis.LoadFromDir(root, dir, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := analysis.RunAnalyzers(as, []*analysis.Analyzer{analysis.Walltime})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 0 {
+			t.Errorf("allowlisted %s produced %d findings, want 0: %v", path, len(diags), diags)
+		}
 	}
 
-	asOther, err := analysis.LoadFromDir(root, dir, "perfpkg")
-	if err != nil {
-		t.Fatal(err)
-	}
-	diags, err = analysis.RunAnalyzers(asOther, []*analysis.Analyzer{analysis.Walltime})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(diags) != 2 {
-		t.Errorf("non-allowlisted copy produced %d findings, want 2: %v", len(diags), diags)
+	// The exemption must not leak: neither a plain path nor a sibling
+	// internal package (the protocol core's path shape) is excused.
+	denied := []string{"perfpkg", "mpquic/internal/core"}
+	for _, path := range denied {
+		as, err := analysis.LoadFromDir(root, dir, path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		diags, err := analysis.RunAnalyzers(as, []*analysis.Analyzer{analysis.Walltime})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(diags) != 2 {
+			t.Errorf("non-allowlisted %s produced %d findings, want 2: %v", path, len(diags), diags)
+		}
 	}
 }

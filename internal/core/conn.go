@@ -44,7 +44,7 @@ type Conn struct {
 	cfg    Config
 	role   Role
 	clock  *sim.Clock
-	net    *netem.Network
+	net    DatagramSender
 	connID wire.ConnectionID
 
 	paths           map[wire.PathID]*Path
@@ -96,7 +96,7 @@ type Conn struct {
 }
 
 // newConn builds the common connection state.
-func newConn(net *netem.Network, role Role, connID wire.ConnectionID, cfg Config, localAddrs, remoteAddrs []netem.Addr) *Conn {
+func newConn(net DatagramSender, role Role, connID wire.ConnectionID, cfg Config, localAddrs, remoteAddrs []netem.Addr) *Conn {
 	c := &Conn{
 		cfg:         cfg,
 		role:        role,

@@ -23,9 +23,10 @@ func NewConnID(seed uint64) wire.ConnectionID {
 // interface and a remote address are known (learned via config or
 // ADD_ADDRESS frames).
 //
-// The secure handshake starts immediately on the initial path; run the
-// simulation clock to make progress.
-func Dial(nw *netem.Network, cfg Config, connID wire.ConnectionID, locals, remotes []netem.Addr) *Conn {
+// nw is any DatagramSender: the emulated *netem.Network, or a live
+// UDP driver. The secure handshake starts immediately on the initial
+// path; run the clock (or the live driver's loop) to make progress.
+func Dial(nw DatagramSender, cfg Config, connID wire.ConnectionID, locals, remotes []netem.Addr) *Conn {
 	if len(locals) == 0 || len(remotes) == 0 {
 		panic("core: Dial needs at least one local and one remote address")
 	}
@@ -47,15 +48,16 @@ func Dial(nw *netem.Network, cfg Config, connID wire.ConnectionID, locals, remot
 // Listener accepts (MP)QUIC connections on a set of server addresses,
 // demultiplexing datagrams to connections by Connection ID.
 type Listener struct {
-	nw     *netem.Network
+	nw     DatagramSender
 	cfg    Config
 	addrs  []netem.Addr
 	conns  map[wire.ConnectionID]*Conn
-	onConn func(*Conn)
+	onConn []func(*Conn)
 }
 
-// Listen registers a server on the given addresses.
-func Listen(nw *netem.Network, cfg Config, addrs []netem.Addr) *Listener {
+// Listen registers a server on the given addresses. nw is any
+// DatagramSender (emulated network or live UDP driver).
+func Listen(nw DatagramSender, cfg Config, addrs []netem.Addr) *Listener {
 	if !cfg.Multipath && cfg.MaxPaths > 1 {
 		cfg.MaxPaths = 1
 	}
@@ -74,9 +76,12 @@ func Listen(nw *netem.Network, cfg Config, addrs []netem.Addr) *Listener {
 	return l
 }
 
-// OnConnection registers the new-connection callback, invoked when the
-// first packet of an unknown Connection ID arrives.
-func (l *Listener) OnConnection(fn func(*Conn)) { l.onConn = fn }
+// OnConnection registers a new-connection callback, invoked when the
+// first packet of an unknown Connection ID arrives. Callbacks
+// compose: each registered callback runs, in registration order, so
+// an application server (apps.NewGetServer) and an observer (e.g.
+// mpq-live's connection-close tracking) can both hook the listener.
+func (l *Listener) OnConnection(fn func(*Conn)) { l.onConn = append(l.onConn, fn) }
 
 // Conns returns the accepted connections, sorted by Connection ID so
 // the order is deterministic (map iteration order must not leak).
@@ -112,8 +117,8 @@ func (l *Listener) HandleDatagram(dg netem.Datagram) {
 	if !ok {
 		c = newConn(l.nw, RoleServer, cid, l.cfg, l.addrs, []netem.Addr{dg.From})
 		l.conns[cid] = c
-		if l.onConn != nil {
-			l.onConn(c)
+		for _, fn := range l.onConn {
+			fn(c)
 		}
 	}
 	c.HandleDatagram(dg)

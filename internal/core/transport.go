@@ -1,0 +1,70 @@
+package core
+
+import (
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+	"mpquic/internal/wire"
+)
+
+// DatagramSender is core's egress boundary: the three capabilities a
+// connection needs from whatever carries its datagrams. The emulated
+// *netem.Network satisfies it natively (the deterministic simulator
+// path); internal/live implements it over real UDP sockets, so the
+// protocol logic above this line is byte-identical in both worlds.
+//
+// The contract mirrors the simulator's single-threaded discipline:
+// Send and Register are only called from the goroutine driving the
+// returned Clock (event callbacks, or setup before the clock runs).
+// Implementations therefore need no internal locking, and a Send may
+// be deferred until the current event batch finishes (the live driver
+// queues and flushes; links enqueue into their serializer) — ordering
+// of datagrams from one endpoint is preserved either way.
+type DatagramSender interface {
+	// Send transmits one datagram toward dg.To. Delivery is best
+	// effort: losses are silent, exactly as on a real wire.
+	Send(dg netem.Datagram)
+	// Register attaches h as the ingress handler for the local
+	// address addr — the local-addr identity half of the boundary.
+	// Re-registering an address replaces the previous handler.
+	Register(addr netem.Addr, h netem.Handler)
+	// Clock is the virtual clock the endpoint schedules on. In the
+	// simulator it is the discrete-event loop; in live mode it is a
+	// monotone image of the wall clock (see internal/live).
+	Clock() *sim.Clock
+}
+
+// The emulated network is the canonical DatagramSender.
+var _ DatagramSender = (*netem.Network)(nil)
+
+// RawDatagram wraps an already-encoded packet as an ingress datagram,
+// exactly as the wire-serialization mode produces them: b holds the
+// serialized QUIC packet, and Size accounts for the UDP/IPv4 framing a
+// real datagram pays. The live driver uses it to inject packets read
+// from a UDP socket into HandleDatagram.
+//
+// Buffer ownership transfers to the receiving endpoint: when b came
+// from wire.GetPacketBuf, the endpoint returns it to the pool after
+// the frames are consumed (corrupted packets may instead be dropped to
+// the garbage collector, which PutPacketBuf tolerates).
+func RawDatagram(from, to netem.Addr, b []byte) netem.Datagram {
+	return netem.Datagram{
+		From:    from,
+		To:      to,
+		Size:    len(b) + wire.UDPIPv4Overhead,
+		Payload: rawPayload{b: b},
+	}
+}
+
+// RawBytes returns the serialized packet bytes of a wire-serialization
+// payload, or (nil, false) when p is a struct-mode payload. Egress
+// drivers that move real bytes (internal/live) use it to unwrap what
+// Config.WireSerialization encoded; the returned slice aliases the
+// pooled encode buffer, so the caller owns returning it via
+// wire.PutPacketBuf once written out.
+func RawBytes(p netem.Payload) ([]byte, bool) {
+	r, ok := p.(rawPayload)
+	if !ok {
+		return nil, false
+	}
+	return r.b, true
+}

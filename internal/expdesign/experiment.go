@@ -170,7 +170,8 @@ func shardScenarios(cfg GridConfig) []Scenario {
 // RunGrid executes the grid for one class: every scenario × 4
 // protocols × 2 initial paths × Reps repetitions, in parallel. With
 // ArtifactPath set the grid is checkpointed (completed scenarios are
-// persisted as they finish and skipped on restart); with NumShards > 1
+// persisted in scenario order as they finish — worker completion
+// order never reaches the file — and skipped on restart); with NumShards > 1
 // only this shard's scenarios run. The returned FigureData covers this
 // shard only — merge shard artifacts with LoadFigureData.
 func RunGrid(cfg GridConfig) (FigureData, error) {
@@ -214,6 +215,14 @@ func RunGrid(cfg GridConfig) (FigureData, error) {
 	var wg sync.WaitGroup
 	var mu sync.Mutex
 	var persistErr error
+	// Workers complete scenarios in wall-clock order, which is not
+	// deterministic; the checkpoint must append in scenario order so
+	// same-seed runs produce byte-identical artifacts and a resumed
+	// run always sees a clean prefix. Completed records wait in
+	// `results` until every lower-index pending scenario has been
+	// persisted (written indexes into pending, which is ascending).
+	written := 0
+	completed := make([]bool, len(scenarios))
 	jobs := make(chan int)
 	for w := 0; w < cfg.Workers; w++ {
 		wg.Add(1)
@@ -223,9 +232,13 @@ func RunGrid(cfg GridConfig) (FigureData, error) {
 				sr := runScenario(cfg, scenarios[i])
 				results[i] = sr
 				mu.Lock()
+				completed[i] = true
 				if cp != nil {
-					if err := cp.Append(cfg, sr); err != nil && persistErr == nil {
-						persistErr = err
+					for written < len(pending) && completed[pending[written]] {
+						if err := cp.Append(cfg, results[pending[written]]); err != nil && persistErr == nil {
+							persistErr = err
+						}
+						written++
 					}
 				}
 				done++

@@ -1,0 +1,126 @@
+package live
+
+import (
+	"fmt"
+	"net"
+
+	"mpquic/internal/netem"
+)
+
+// pathSocket is one bound UDP socket: the real-world incarnation of a
+// local path address.
+type pathSocket struct {
+	conn  *net.UDPConn
+	local netem.Addr // the actually-bound "ip:port", the path identity
+}
+
+// PathBinder maps the address identities the core stack uses for its
+// paths onto real UDP endpoints. Core identifies a path by its
+// (local, remote) netem.Addr pair; in live mode those strings are
+// literal "ip:port" addresses, so the binder resolves:
+//
+//   - local netem.Addr → the bound *net.UDPConn that owns it (egress
+//     socket selection, one socket per local interface address);
+//   - remote netem.Addr → a resolved *net.UDPAddr (egress
+//     destination), cached after the first lookup.
+//
+// Path IDs map through position: core.Dial pairs locals[i] with
+// remotes[i] as path i, and Locals() preserves the order the sockets
+// were bound in, so index i of the binder is the local endpoint of
+// path i (the paper's WiFi+LTE dual-homing is two loopback ports in
+// the tests). Servers need no remote table up front: remotes are
+// learned per-datagram from the ingress source address.
+//
+// The binder is not safe for concurrent use; the driver goroutine
+// owns it (reader goroutines only touch the sockets, which are
+// internally synchronized).
+type PathBinder struct {
+	socks   []*pathSocket
+	byLocal map[netem.Addr]*pathSocket
+	remotes map[netem.Addr]*net.UDPAddr
+}
+
+// newPathBinder binds one UDP socket per local address. Addresses may
+// use port 0; the kernel-assigned port becomes part of the path
+// identity (see Locals). On error, already-bound sockets are closed.
+func newPathBinder(localAddrs []string) (*PathBinder, error) {
+	if len(localAddrs) == 0 {
+		return nil, fmt.Errorf("live: need at least one local address")
+	}
+	b := &PathBinder{
+		byLocal: make(map[netem.Addr]*pathSocket, len(localAddrs)),
+		remotes: make(map[netem.Addr]*net.UDPAddr),
+	}
+	for _, a := range localAddrs {
+		ua, err := net.ResolveUDPAddr("udp", a)
+		if err == nil && ua.IP == nil {
+			// A wildcard bind would make the local path identity
+			// ambiguous (the From address core stamps on egress must
+			// name one socket).
+			err = fmt.Errorf("wildcard address not allowed; bind an explicit IP")
+		}
+		var pc *net.UDPConn
+		if err == nil {
+			pc, err = net.ListenUDP("udp", ua)
+		}
+		if err != nil {
+			b.closeSockets()
+			return nil, fmt.Errorf("live: bind %s: %w", a, err)
+		}
+		// Deep socket buffers: the driver drains sockets in batches
+		// between protocol events, so the kernel queue is the only
+		// thing standing between a burst and loss. Best-effort — the
+		// OS clamps to its limits.
+		pc.SetReadBuffer(1 << 21)
+		pc.SetWriteBuffer(1 << 21)
+		s := &pathSocket{conn: pc, local: netem.Addr(pc.LocalAddr().String())}
+		b.socks = append(b.socks, s)
+		b.byLocal[s.local] = s
+	}
+	return b, nil
+}
+
+// Locals returns the actually-bound local addresses in bind order:
+// index i is the local endpoint of path i. Pass this slice to
+// core.Dial/core.Listen so the path identities match the sockets.
+func (b *PathBinder) Locals() []netem.Addr {
+	out := make([]netem.Addr, len(b.socks))
+	for i, s := range b.socks {
+		out[i] = s.local
+	}
+	return out
+}
+
+// NumPaths reports the number of bound local path endpoints.
+func (b *PathBinder) NumPaths() int { return len(b.socks) }
+
+// LocalUDP returns the bound UDP address of local path endpoint i.
+func (b *PathBinder) LocalUDP(i int) *net.UDPAddr {
+	return b.socks[i].conn.LocalAddr().(*net.UDPAddr)
+}
+
+// socketFor returns the socket owning a local address, or nil.
+func (b *PathBinder) socketFor(local netem.Addr) *pathSocket {
+	return b.byLocal[local]
+}
+
+// RemoteUDP resolves a remote path address to a UDP address, caching
+// the result (egress runs per packet; resolution must not).
+func (b *PathBinder) RemoteUDP(addr netem.Addr) (*net.UDPAddr, error) {
+	if ua, ok := b.remotes[addr]; ok {
+		return ua, nil
+	}
+	ua, err := net.ResolveUDPAddr("udp", string(addr))
+	if err != nil {
+		return nil, fmt.Errorf("live: resolve %s: %w", addr, err)
+	}
+	b.remotes[addr] = ua
+	return ua, nil
+}
+
+// closeSockets closes every bound socket, unblocking reader loops.
+func (b *PathBinder) closeSockets() {
+	for _, s := range b.socks {
+		s.conn.Close()
+	}
+}

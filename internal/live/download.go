@@ -1,0 +1,63 @@
+package live
+
+import (
+	"errors"
+	"time"
+
+	"mpquic/internal/apps"
+	"mpquic/internal/core"
+)
+
+// ErrTimeout is returned by Download when the transfer does not
+// complete before its wall deadline.
+var ErrTimeout = errors.New("live: transfer deadline exceeded")
+
+// AbortError is returned by Download when the connection terminates
+// before the transfer completes — the peer closed or aborted it, an
+// idle timeout fired, or a protocol error tore it down. Err carries
+// the connection's close reason.
+type AbortError struct{ Err error }
+
+func (e *AbortError) Error() string {
+	if e.Err == nil {
+		return "live: connection aborted"
+	}
+	return "live: connection aborted: " + e.Err.Error()
+}
+
+// Unwrap exposes the close reason to errors.Is / errors.As chains.
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// Download runs a blocking GET of size bytes on the client connection
+// over the live driver: it arms the transfer, drives the loop until
+// completion, and returns the result. Timestamps inside the result
+// are sim times, i.e. wall-derived durations since the driver's
+// epoch. deadline bounds the transfer in wall time (<= 0 means no
+// deadline); exceeding it returns ErrTimeout, and a connection that
+// dies first returns *AbortError.
+func Download(d *Driver, client *core.Conn, size uint64, deadline time.Duration) (apps.GetResult, error) {
+	var res *apps.GetResult
+	now := func() time.Duration { return d.clock.Now().Duration() }
+	apps.NewGetClient(client, size, now, func(r apps.GetResult) { res = &r })
+	timedOut := false
+	if deadline > 0 {
+		// The deadline is a plain sim event: wall deadlines and
+		// protocol timers share one timebase in live mode.
+		d.clock.At(d.clock.Now().Add(deadline), func() { timedOut = true })
+	}
+	err := d.Run(func() bool { return res != nil || timedOut || client.Closed() })
+	if err != nil {
+		return apps.GetResult{}, err
+	}
+	if res != nil {
+		return *res, nil
+	}
+	if client.Closed() {
+		cerr := client.Err()
+		if cerr == nil {
+			cerr = errors.New("live: connection closed")
+		}
+		return apps.GetResult{}, &AbortError{Err: cerr}
+	}
+	return apps.GetResult{}, ErrTimeout
+}

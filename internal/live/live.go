@@ -1,0 +1,368 @@
+// Package live runs the MPQUIC stack over real UDP sockets.
+//
+// The protocol core (internal/core) is driver-agnostic: it schedules
+// on a sim.Clock and moves datagrams through the core.DatagramSender
+// boundary. The deterministic simulator implements that boundary with
+// emulated links; this package implements it with one UDP socket per
+// local path address and a wall clock, so the exact same protocol
+// logic — scheduler, OLIA, recovery, tracing, qlog — exchanges real
+// packets, unmodified (the paper ran its evaluation this way: a real
+// implementation over real networks).
+//
+// # Sim time as a monotone image of wall time
+//
+// The driver owns a sim.Clock whose epoch is the moment Run starts.
+// Its loop is:
+//
+//  1. read Clock.NextDeadline() — the earliest armed protocol timer;
+//  2. block on socket readability until the wall image of that
+//     deadline (a select over reader-goroutine channels and a timer);
+//  3. on wake-up, advance the sim clock to wall-elapsed time with
+//     Clock.RunUntil, firing every due protocol timer;
+//  4. inject received datagrams via netem.Handler.HandleDatagram;
+//  5. flush queued egress datagrams to the right socket per path.
+//
+// Virtual time therefore advances only through RunUntil and always to
+// the current wall-elapsed duration: sim time is a monotone map of
+// wall time, and everything stamped with sim time (traces, qlog,
+// series samples, RunMetrics) works untouched in live mode — the
+// timestamps simply read as wall-derived durations since Run.
+//
+// # What determinism guarantees do NOT hold
+//
+// Live runs are not reproducible: packet arrival order and timing come
+// from the kernel and the network, loss is real (including loopback
+// socket-buffer overflow), and timer firings quantize to wall-clock
+// scheduling latency. The determinism contract of the simulator
+// (same seed → byte-identical artifacts) applies only to sim runs;
+// live mode inherits the protocol logic, not the reproducibility.
+//
+// # Concurrency
+//
+// One goroutine per socket blocks in ReadFromUDP and hands (buffer,
+// source) pairs to the driver loop over a channel; everything else —
+// clock, connections, handlers, egress — is touched only by the
+// goroutine inside Run. This preserves the single-threaded discipline
+// the protocol core was built under, which is why the stack needs no
+// locks to be race-clean.
+//
+// This package is the audited wall-clock exception to the walltime
+// analyzer (see internal/analysis): it is the one place besides
+// internal/perf where reading real time is the point.
+package live
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"mpquic/internal/core"
+	"mpquic/internal/netem"
+	"mpquic/internal/sim"
+	"mpquic/internal/wire"
+)
+
+// ErrClosed is returned by Run when the driver is closed before the
+// until condition is met.
+var ErrClosed = errors.New("live: driver closed")
+
+// packetIn is one received datagram crossing from a reader goroutine
+// into the driver loop. buf is pool-backed (wire.GetPacketBuf);
+// ownership transfers with the message.
+type packetIn struct {
+	local netem.Addr
+	from  *net.UDPAddr
+	buf   []byte
+	err   error // terminal reader error; buf is nil
+}
+
+// Stats counts driver-level activity (socket I/O, not protocol state;
+// per-path protocol counters live on the connection's paths).
+type Stats struct {
+	PacketsIn   uint64 // datagrams injected into the stack
+	PacketsOut  uint64 // datagrams written to sockets
+	BytesIn     uint64
+	BytesOut    uint64
+	NoHandler   uint64 // ingress dropped: no handler for the socket
+	NoRoute     uint64 // egress dropped: unknown local addr or bad remote
+	WriteErrors uint64 // egress dropped: socket write failed (treated as loss)
+}
+
+// Driver runs a sim.Clock against wall time and moves datagrams
+// between the protocol core and real UDP sockets. It implements
+// core.DatagramSender; pass it to core.Dial / core.Listen where the
+// simulator tests pass a *netem.Network.
+//
+// Endpoints must run with Config.WireSerialization enabled (real
+// sockets move bytes, not structs); enable Config.EnableCrypto too
+// for real AEAD protection on the wire.
+//
+// Setup (NewDriver, Dial/Listen, Register) happens before Run; the
+// goroutine calling Run then owns all protocol state until Run
+// returns. Close may be called from any goroutine.
+type Driver struct {
+	clock    *sim.Clock
+	binder   *PathBinder
+	handlers map[netem.Addr]netem.Handler
+	egress   []netem.Datagram
+
+	recvCh  chan packetIn
+	closeCh chan struct{}
+	closeMu sync.Once
+	readers sync.WaitGroup
+
+	start   time.Time
+	started bool
+
+	Stats Stats
+}
+
+var _ core.DatagramSender = (*Driver)(nil)
+
+// NewDriver binds one UDP socket per local address (port 0 picks a
+// free port; see Driver.LocalAddrs for the bound result) and starts
+// its reader goroutines. The caller owns the driver until Close.
+func NewDriver(localAddrs []string) (*Driver, error) {
+	binder, err := newPathBinder(localAddrs)
+	if err != nil {
+		return nil, err
+	}
+	d := &Driver{
+		clock:    sim.NewClock(),
+		binder:   binder,
+		handlers: make(map[netem.Addr]netem.Handler),
+		recvCh:   make(chan packetIn, 1024),
+		closeCh:  make(chan struct{}),
+	}
+	for _, s := range binder.socks {
+		d.readers.Add(1)
+		go d.readLoop(s)
+	}
+	return d, nil
+}
+
+// Clock returns the driver's clock (implements core.DatagramSender).
+// Before Run it sits at the epoch; during Run it tracks wall-elapsed
+// time since Run started.
+func (d *Driver) Clock() *sim.Clock { return d.clock }
+
+// Binder returns the driver's path binder.
+func (d *Driver) Binder() *PathBinder { return d.binder }
+
+// LocalAddrs returns the actually-bound local path addresses in bind
+// order (index i is path i's local endpoint). Pass them to core.Dial
+// or core.Listen.
+func (d *Driver) LocalAddrs() []netem.Addr { return d.binder.Locals() }
+
+// Register implements core.DatagramSender: ingress datagrams arriving
+// on the socket bound to addr are dispatched to h.
+func (d *Driver) Register(addr netem.Addr, h netem.Handler) {
+	d.handlers[addr] = h
+}
+
+// Send implements core.DatagramSender: the datagram is queued and
+// flushed to its socket when the current event batch finishes (egress
+// order is preserved). The payload must be wire-serialized.
+func (d *Driver) Send(dg netem.Datagram) {
+	d.egress = append(d.egress, dg)
+}
+
+// readLoop blocks on one socket, handing received datagrams to the
+// driver loop. It exits when the socket closes.
+func (d *Driver) readLoop(s *pathSocket) {
+	defer d.readers.Done()
+	for d.readOne(s) {
+	}
+}
+
+// readOne performs one blocking read and hands the datagram to the
+// driver loop, reporting whether the loop should continue. Buffer
+// ownership transfers with the channel send; every other exit recycles
+// the buffer (the single trailing PutPacketBuf).
+func (d *Driver) readOne(s *pathSocket) bool {
+	buf := wire.GetPacketBuf()
+	b := buf[:cap(buf)]
+	n, from, err := s.conn.ReadFromUDP(b)
+	if err == nil {
+		select {
+		case d.recvCh <- packetIn{local: s.local, from: from, buf: b[:n]}:
+			return true
+		case <-d.closeCh:
+		}
+	} else if !errors.Is(err, net.ErrClosed) {
+		// Unconnected UDP sockets rarely error; anything else is
+		// terminal for this socket — surface it to Run.
+		select {
+		case d.recvCh <- packetIn{err: fmt.Errorf("live: read %s: %w", s.local, err)}:
+		case <-d.closeCh:
+		}
+	}
+	wire.PutPacketBuf(b)
+	return false
+}
+
+// Run drives the loop until the until condition reports true (checked
+// after every batch of work), a terminal error occurs, or the driver
+// is closed (ErrClosed). A nil until runs until Close — server mode.
+//
+// The first Run call pins the wall epoch: sim time 0 is that moment.
+// Run may be called again after returning (e.g. one Run per transfer
+// on a client driver); later calls keep the original epoch so sim
+// time stays monotone across them.
+func (d *Driver) Run(until func() bool) error {
+	if !d.started {
+		d.started = true
+		d.start = time.Now()
+	}
+	timer := time.NewTimer(time.Hour)
+	if !timer.Stop() {
+		<-timer.C
+	}
+	defer timer.Stop()
+	for {
+		if err := d.flush(); err != nil {
+			return err
+		}
+		if until != nil && until() {
+			return nil
+		}
+		// Arm the wake-up at the wall image of the next sim deadline.
+		var timerC <-chan time.Time
+		if dl := d.clock.NextDeadline(); dl != sim.Never {
+			wait := time.Until(d.start.Add(dl.Duration()))
+			if wait < 0 {
+				wait = 0
+			}
+			timer.Reset(wait)
+			timerC = timer.C
+		}
+		select {
+		case p := <-d.recvCh:
+			if timerC != nil && !timer.Stop() {
+				select {
+				case <-timer.C:
+				default:
+				}
+			}
+			if err := d.handlePacket(p); err != nil {
+				return err
+			}
+			// Drain whatever else already arrived before re-arming:
+			// one advance + flush then covers the whole batch.
+		drain:
+			for {
+				select {
+				case q := <-d.recvCh:
+					if err := d.handlePacket(q); err != nil {
+						return err
+					}
+				default:
+					break drain
+				}
+			}
+		case <-timerC:
+			if err := d.advance(); err != nil {
+				return err
+			}
+		case <-d.closeCh:
+			d.flush()
+			return ErrClosed
+		}
+	}
+}
+
+// handlePacket advances the clock to wall-elapsed time, then injects
+// one received datagram into the registered handler.
+func (d *Driver) handlePacket(p packetIn) error {
+	if p.err != nil {
+		return p.err
+	}
+	if err := d.advance(); err != nil {
+		wire.PutPacketBuf(p.buf)
+		return err
+	}
+	h := d.handlers[p.local]
+	if h == nil {
+		d.Stats.NoHandler++
+		wire.PutPacketBuf(p.buf)
+		return nil
+	}
+	d.Stats.PacketsIn++
+	d.Stats.BytesIn += uint64(len(p.buf))
+	// The handler consumes the frames synchronously and returns the
+	// buffer to the pool (see core.RawDatagram).
+	h.HandleDatagram(core.RawDatagram(netem.Addr(p.from.String()), p.local, p.buf))
+	return nil
+}
+
+// advance moves sim time forward to the current wall-elapsed
+// duration, firing every protocol timer due on the way. Sim time
+// never moves backwards: a wake-up earlier than the current sim time
+// (sub-timer-resolution packet bursts) is a no-op.
+func (d *Driver) advance() error {
+	el := sim.Time(time.Since(d.start))
+	if el > d.clock.Now() {
+		return d.clock.RunUntil(el)
+	}
+	return nil
+}
+
+// flush writes every queued egress datagram to the socket owning its
+// From address. Write failures are packet loss (counted, not fatal),
+// as a real wire would drop them.
+func (d *Driver) flush() error {
+	for i := range d.egress {
+		dg := d.egress[i]
+		d.egress[i] = netem.Datagram{} // drop the payload reference
+		if err := d.writeDatagram(dg); err != nil {
+			d.egress = d.egress[:0]
+			return err
+		}
+	}
+	d.egress = d.egress[:0]
+	return nil
+}
+
+// writeDatagram sends one egress datagram and recycles its buffer.
+func (d *Driver) writeDatagram(dg netem.Datagram) error {
+	b, ok := core.RawBytes(dg.Payload)
+	if !ok {
+		return fmt.Errorf("live: struct-mode payload %s->%s; endpoints must enable Config.WireSerialization", dg.From, dg.To)
+	}
+	defer wire.PutPacketBuf(b)
+	s := d.binder.socketFor(dg.From)
+	if s == nil {
+		d.Stats.NoRoute++
+		return nil
+	}
+	ra, err := d.binder.RemoteUDP(dg.To)
+	if err != nil {
+		d.Stats.NoRoute++
+		return nil
+	}
+	if _, err := s.conn.WriteToUDP(b, ra); err != nil {
+		d.Stats.WriteErrors++
+	} else {
+		d.Stats.PacketsOut++
+		d.Stats.BytesOut += uint64(len(b))
+	}
+	return nil
+}
+
+// Flush writes any queued egress immediately (e.g. a CONNECTION_CLOSE
+// sent after Run returned).
+func (d *Driver) Flush() error { return d.flush() }
+
+// Close shuts the driver down: sockets close (unblocking readers) and
+// a concurrent Run returns ErrClosed. Safe to call from any goroutine
+// and more than once.
+func (d *Driver) Close() error {
+	d.closeMu.Do(func() {
+		close(d.closeCh)
+		d.binder.closeSockets()
+	})
+	d.readers.Wait()
+	return nil
+}

@@ -264,7 +264,17 @@ func (c *Clock) popNext(deadline Time) *Event {
 	}
 }
 
-// NextDeadline reports the deadline of the earliest live event, or Never.
+// NextDeadline reports the deadline of the earliest live event, or
+// Never. Together with RunUntil it forms the deadline-bounded stepping
+// API an external driver needs to interleave virtual time with an
+// outside event source (the live UDP driver blocks on socket
+// readability until the wall image of this deadline, then calls
+// RunUntil) — see internal/live.
+//
+// Handle contract: NextDeadline discards cancelled events it finds at
+// the head of the queue and recycles their storage, so any retained
+// *Event handle to a cancelled event becomes invalid once NextDeadline
+// (or any Run variant) is called. Only sim.Timer holds handles safely.
 func (c *Clock) NextDeadline() Time {
 	for {
 		e := c.peek()
@@ -326,6 +336,20 @@ func (c *Clock) Run() error {
 
 // RunUntil executes events with deadlines <= deadline, then advances the
 // clock to exactly deadline. It returns any Run error.
+//
+// RunUntil is the deadline-bounded stepping entry point (Run runs to
+// exhaustion): callers may invoke it repeatedly with increasing
+// deadlines, and each call executes exactly the events Run would have
+// executed in that window, in the same (deadline, FIFO) order. Because
+// the clock lands on exactly deadline even when no event was due,
+// repeated calls make virtual time a monotone image of any outside
+// timebase — the live driver maps wall-elapsed time through it.
+//
+// Handle contract: an *Event handle is invalid once its event has fired
+// or been discarded, regardless of which Run variant drove it; after
+// RunUntil returns, handles to events with deadlines <= deadline must
+// not be used. Events scheduled beyond deadline keep valid handles and
+// may still be cancelled before a later call.
 func (c *Clock) RunUntil(deadline Time) error {
 	if c.running {
 		return fmt.Errorf("sim: RunUntil re-entered")

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"testing"
 	"testing/quick"
 	"time"
@@ -315,5 +316,124 @@ func BenchmarkClockScheduleAndRun(b *testing.B) {
 			c.After(time.Duration(j)*time.Microsecond, func() {})
 		}
 		c.Run()
+	}
+}
+
+// TestDriverLoopStepping drives a clock the way the live driver does —
+// NextDeadline to find the wake-up point, RunUntil to execute the due
+// window — and checks the execution trace is identical to a plain Run
+// over the same schedule, including events that reschedule themselves.
+func TestDriverLoopStepping(t *testing.T) {
+	build := func(c *Clock, log *[]string) {
+		var tick func()
+		n := 0
+		tick = func() {
+			*log = append(*log, fmt.Sprintf("tick@%v", c.Now()))
+			if n++; n < 3 {
+				c.After(3*time.Millisecond, tick)
+			}
+		}
+		c.After(2*time.Millisecond, tick)
+		c.After(5*time.Millisecond, func() { *log = append(*log, fmt.Sprintf("a@%v", c.Now())) })
+		c.After(5*time.Millisecond, func() { *log = append(*log, fmt.Sprintf("b@%v", c.Now())) })
+	}
+
+	var want []string
+	ref := NewClock()
+	build(ref, &want)
+	if err := ref.Run(); err != nil {
+		t.Fatal(err)
+	}
+
+	var got []string
+	c := NewClock()
+	build(c, &got)
+	steps := 0
+	for {
+		dl := c.NextDeadline()
+		if dl == Never {
+			break
+		}
+		// A driver would block on socket readability here, then advance
+		// to the wall-elapsed time; stepping to exactly the deadline is
+		// the timeout branch of that select.
+		if err := c.RunUntil(dl); err != nil {
+			t.Fatal(err)
+		}
+		steps++
+	}
+	if steps != 3 {
+		t.Fatalf("driver loop took %d steps, want 3 (deadlines 2ms, 5ms, 8ms)", steps)
+	}
+	if fmt.Sprint(got) != fmt.Sprint(want) {
+		t.Fatalf("stepped trace %v != Run trace %v", got, want)
+	}
+}
+
+// TestRunUntilPartialWindows splits the same schedule at an arbitrary
+// boundary that is not an event deadline: nothing may be lost or
+// reordered across the split, and the clock must land exactly on each
+// requested deadline.
+func TestRunUntilPartialWindows(t *testing.T) {
+	c := NewClock()
+	var fired []Time
+	for _, d := range []time.Duration{1, 4, 6, 9} {
+		d := d
+		c.After(d*time.Millisecond, func() { fired = append(fired, c.Now()) })
+	}
+	if err := c.RunUntil(Time(5 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 2 || c.Now() != Time(5*time.Millisecond) {
+		t.Fatalf("after first window: fired=%v now=%v", fired, c.Now())
+	}
+	if dl := c.NextDeadline(); dl != Time(6*time.Millisecond) {
+		t.Fatalf("NextDeadline = %v, want 6ms", dl)
+	}
+	if err := c.RunUntil(Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if len(fired) != 4 || c.Now() != Time(20*time.Millisecond) {
+		t.Fatalf("after second window: fired=%v now=%v", fired, c.Now())
+	}
+	if dl := c.NextDeadline(); dl != Never {
+		t.Fatalf("drained clock NextDeadline = %v, want Never", dl)
+	}
+}
+
+// TestRunUntilTimerHandleContract exercises the documented Event
+// handle rules across RunUntil boundaries: a Timer re-armed in each
+// window keeps working (it drops its handle on fire), and cancelling
+// before the deadline window runs prevents execution.
+func TestRunUntilTimerHandleContract(t *testing.T) {
+	c := NewClock()
+	fires := 0
+	tm := NewTimer(c, func() { fires++ })
+	tm.Reset(Time(2 * time.Millisecond))
+	if err := c.RunUntil(Time(3 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 || tm.Armed() {
+		t.Fatalf("fires=%d armed=%v after first window", fires, tm.Armed())
+	}
+	// Re-arm beyond the next window, then cancel before it runs: the
+	// handle is still valid because the event never fired.
+	tm.Reset(Time(10 * time.Millisecond))
+	if err := c.RunUntil(Time(5 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if !tm.Armed() {
+		t.Fatal("timer armed beyond the window must survive it")
+	}
+	tm.Stop()
+	if err := c.RunUntil(Time(20 * time.Millisecond)); err != nil {
+		t.Fatal(err)
+	}
+	if fires != 1 {
+		t.Fatalf("cancelled timer fired: fires=%d", fires)
+	}
+	// NextDeadline must have discarded the cancelled event.
+	if c.Pending() != 0 {
+		t.Fatalf("Pending = %d after drain, want 0", c.Pending())
 	}
 }

@@ -1,0 +1,117 @@
+package mpquic
+
+import (
+	"time"
+
+	"mpquic/internal/apps"
+	"mpquic/internal/core"
+	"mpquic/internal/live"
+	"mpquic/internal/netem"
+)
+
+// Live mode: the same protocol stack over real UDP sockets and a wall
+// clock (internal/live), behind the same facade shapes as the
+// emulated Network. See DESIGN.md, "Live mode".
+
+// DefaultLiveDeadline is the wall-time budget LiveNetwork.Download
+// grants a transfer before returning ErrTimeout. Live transfers cross
+// real networks, so the default is minutes, not the simulator's
+// effectively-unbounded virtual deadline.
+const DefaultLiveDeadline = 2 * time.Minute
+
+// ErrLiveClosed is returned by LiveNetwork.Serve when the network is
+// closed — the clean way to stop a live server.
+var ErrLiveClosed = live.ErrClosed
+
+// LiveAbortError is returned by LiveNetwork.Download when the
+// connection dies before the transfer completes; it wraps the close
+// reason.
+type LiveAbortError = live.AbortError
+
+// LiveNetwork runs MPQUIC endpoints over real UDP sockets: one socket
+// per local path address, sim time mapped monotonically onto wall
+// time. Unlike Network, runs are not reproducible — the kernel and
+// the real network schedule the packets.
+type LiveNetwork struct {
+	d *live.Driver
+}
+
+// NewLive binds one UDP socket per local address ("ip:port"; port 0
+// picks a free port) and returns a live network. Close it when done.
+func NewLive(localAddrs ...string) (*LiveNetwork, error) {
+	d, err := live.NewDriver(localAddrs)
+	if err != nil {
+		return nil, err
+	}
+	return &LiveNetwork{d: d}, nil
+}
+
+// Driver exposes the underlying live driver for advanced use (stats,
+// custom run loops).
+func (n *LiveNetwork) Driver() *live.Driver { return n.d }
+
+// LocalAddrs returns the actually-bound local addresses in path
+// order — hand them to a remote peer's Dial.
+func (n *LiveNetwork) LocalAddrs() []string {
+	addrs := n.d.LocalAddrs()
+	out := make([]string, len(addrs))
+	for i, a := range addrs {
+		out[i] = string(a)
+	}
+	return out
+}
+
+// liveConfig forces the settings real sockets require.
+func liveConfig(cfg Config) Config {
+	cfg.WireSerialization = true
+	return cfg
+}
+
+// Listen starts a (MP)QUIC server on every bound local address.
+func (n *LiveNetwork) Listen(cfg Config) *Listener {
+	return core.Listen(n.d, liveConfig(cfg), n.d.LocalAddrs())
+}
+
+// ServeGet attaches the paper's GET file server to a listener.
+func (n *LiveNetwork) ServeGet(l *Listener) { apps.NewGetServer(l) }
+
+// Serve drives the server loop until Close (returns ErrLiveClosed) or
+// a socket error. Call after Listen+ServeGet.
+func (n *LiveNetwork) Serve() error { return n.d.Run(nil) }
+
+// Dial opens a client connection toward remote path addresses, one
+// per bound local socket (remotes[i] pairs with local socket i as
+// path i).
+func (n *LiveNetwork) Dial(cfg Config, connID uint64, remotes ...string) *Conn {
+	ra := make([]netem.Addr, len(remotes))
+	for i, r := range remotes {
+		ra[i] = netem.Addr(r)
+	}
+	return core.Dial(n.d, liveConfig(cfg), core.NewConnID(connID), n.d.LocalAddrs(), ra)
+}
+
+// Download runs a blocking GET of size bytes over the live network,
+// driving the wall-clock loop until completion. Timestamps in the
+// result are wall-derived durations since the loop first started. It
+// returns ErrTimeout after DefaultLiveDeadline, or a *LiveAbortError
+// if the connection dies first.
+func (n *LiveNetwork) Download(client *Conn, size uint64) (GetResult, error) {
+	return n.DownloadWith(client, size, DownloadOpts{})
+}
+
+// DownloadWith is Download with an explicit wall deadline.
+func (n *LiveNetwork) DownloadWith(client *Conn, size uint64, opts DownloadOpts) (GetResult, error) {
+	deadline := opts.Deadline
+	if deadline <= 0 {
+		deadline = DefaultLiveDeadline
+	}
+	res, err := live.Download(n.d, client, size, deadline)
+	if err == live.ErrTimeout {
+		err = ErrTimeout // the facade's timeout error, same as Network
+	}
+	return res, err
+}
+
+// Close shuts the sockets down; a concurrent Serve returns
+// ErrLiveClosed. Safe to call more than once.
+func (n *LiveNetwork) Close() error { return n.d.Close() }

@@ -4,9 +4,13 @@
 # Runs the internal/perf micro benchmarks (wire encode/decode, sim
 # event loop, netem link transit) plus the smoke-grid macro benchmark,
 # and writes the numbers to a BENCH_*.json trajectory file so every PR
-# can compare its hot-path cost against the previous one.
+# can compare its hot-path cost against the previous one. Full runs
+# also measure live-mode loopback throughput (a two-process 10 MB
+# two-path mpq-live transfer over real UDP sockets); the client's
+# metrics land in the "live_loopback" block, or null when the
+# environment denies UDP.
 #
-#   scripts/bench.sh            # full run, writes BENCH_PR3.json
+#   scripts/bench.sh            # full run, writes BENCH_PR7.json
 #   scripts/bench.sh -smoke     # CI-sized sanity pass, no file output
 #   scripts/bench.sh -o F.json  # full run, write to F.json
 #
@@ -18,7 +22,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR3.json
+out=BENCH_PR7.json
 mode=full
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -57,6 +61,39 @@ if [ "$mode" = smoke ]; then
     exit 0
 fi
 
+# Live loopback throughput: a real two-process 10 MB transfer over two
+# loopback UDP paths (see scripts/live_smoke.sh for the gating smoke).
+# The client's -json metrics are embedded verbatim; environments that
+# deny UDP sockets record null instead of failing the bench run.
+echo "== live loopback transfer (mpq-live, 10 MB, two paths)"
+live_json=null
+livedir=$(mktemp -d)
+spid=
+if go build -o "$livedir/mpq-live" ./cmd/mpq-live; then
+    "$livedir/mpq-live" -server -once -idle 5s \
+        -listen 127.0.0.1:47651,127.0.0.1:47652 >"$livedir/server.log" 2>&1 &
+    spid=$!
+    i=0
+    while ! grep -q '^listening' "$livedir/server.log" && kill -0 "$spid" 2>/dev/null; do
+        i=$((i + 1))
+        [ "$i" -gt 100 ] && break
+        sleep 0.1
+    done
+    if grep -q '^listening' "$livedir/server.log"; then
+        if "$livedir/mpq-live" -connect 127.0.0.1:47651,127.0.0.1:47652 \
+            -size 10000000 -timeout 60s -json >"$livedir/client.json"; then
+            live_json=$(cat "$livedir/client.json")
+            echo "   $live_json"
+        fi
+        wait "$spid" 2>/dev/null || true
+        spid=
+    else
+        echo "   skipped: $(tail -1 "$livedir/server.log" 2>/dev/null || echo 'server did not start')"
+    fi
+fi
+[ -n "$spid" ] && kill "$spid" 2>/dev/null || true
+rm -rf "$livedir"
+
 # Convert `go test -bench` lines into JSON records. Metric pairs are
 # parsed generically: "124.6 ns/op" -> "ns_per_op": 124.6.
 results=$(awk '
@@ -94,6 +131,7 @@ results=$(awk '
     ]
   },
 EOF
+    printf '  "live_loopback": %s,\n' "$live_json"
     printf '  "results": [\n'
     printf '%s\n' "$results"
     printf '  ]\n'
