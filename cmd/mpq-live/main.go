@@ -51,12 +51,17 @@ func main() {
 		once    = flag.Bool("once", false, "server: exit after the first connection closes")
 		wantAgg = flag.Bool("expect-aggregation", false,
 			"client: exit nonzero unless every path carried data and the aggregate beats the best single path")
+		coalesce = flag.Duration("coalesce", live.DefaultCoalesce,
+			"wake-up coalescing granularity (0 disables; quantizes timer wake-ups and their qlog timestamps)")
+		sockBuf = flag.Int("sockbuf", live.DefaultSocketBuffer,
+			"SO_RCVBUF/SO_SNDBUF request per UDP socket in bytes (0 keeps the OS default)")
 	)
 	flag.Parse()
 
+	driverOpts := []live.Option{live.WithCoalesce(*coalesce), live.WithSocketBuffer(*sockBuf)}
 	var err error
 	if *server {
-		err = runServer(splitAddrs(*listen), *idle, *crypto, *qlog, *once)
+		err = runServer(splitAddrs(*listen), *idle, *crypto, *qlog, *once, driverOpts)
 	} else {
 		if *connect == "" {
 			fmt.Fprintln(os.Stderr, "mpq-live: need -server or -connect (see -h)")
@@ -72,6 +77,7 @@ func main() {
 			qlog:    *qlog,
 			json:    *jsonOut,
 			wantAgg: *wantAgg,
+			driver:  driverOpts,
 		})
 	}
 	if err != nil {
@@ -130,8 +136,8 @@ func openQlog(path, vantage string) (trace.Tracer, func() error, error) {
 	}, nil
 }
 
-func runServer(addrs []string, idle time.Duration, crypto bool, qlogPath string, once bool) error {
-	d, err := live.NewDriver(addrs)
+func runServer(addrs []string, idle time.Duration, crypto bool, qlogPath string, once bool, opts []live.Option) error {
+	d, err := live.NewDriver(addrs, opts...)
 	if err != nil {
 		return err
 	}
@@ -186,6 +192,11 @@ type clientMetrics struct {
 	Paths         []pathMetrics `json:"paths"`
 	PacketsIn     uint64        `json:"packets_in"`
 	PacketsOut    uint64        `json:"packets_out"`
+	// Fast-lane observability: how well ingress batching worked and
+	// whether the kernel receive queue overflowed (see live.Stats).
+	IngressBatches uint64 `json:"ingress_batches"`
+	MaxBatch       uint64 `json:"max_batch"`
+	RcvQueueDrops  uint64 `json:"rcv_queue_drops"`
 }
 
 type pathMetrics struct {
@@ -210,6 +221,7 @@ type clientOpts struct {
 	qlog    string
 	json    bool
 	wantAgg bool
+	driver  []live.Option
 }
 
 func runClient(o clientOpts) error {
@@ -223,7 +235,7 @@ func runClient(o clientOpts) error {
 	if len(locals) != len(o.remotes) {
 		return fmt.Errorf("need one -local address per -connect address (%d vs %d)", len(locals), len(o.remotes))
 	}
-	d, err := live.NewDriver(locals)
+	d, err := live.NewDriver(locals, o.driver...)
 	if err != nil {
 		return err
 	}
@@ -246,12 +258,16 @@ func runClient(o clientOpts) error {
 		return err
 	}
 
+	d.UpdateSocketStats()
 	m := clientMetrics{
-		Size:          res.Size,
-		HandshakeSecs: res.HandshakeDone.Seconds(),
-		TransferSecs:  res.Elapsed().Seconds(),
-		PacketsIn:     d.Stats.PacketsIn,
-		PacketsOut:    d.Stats.PacketsOut,
+		Size:           res.Size,
+		HandshakeSecs:  res.HandshakeDone.Seconds(),
+		TransferSecs:   res.Elapsed().Seconds(),
+		PacketsIn:      d.Stats.PacketsIn,
+		PacketsOut:     d.Stats.PacketsOut,
+		IngressBatches: d.Stats.IngressBatches,
+		MaxBatch:       d.Stats.MaxBatch,
+		RcvQueueDrops:  d.Stats.RcvQueueDrops,
 	}
 	if s := m.TransferSecs; s > 0 {
 		m.GoodputMbps = float64(res.Size) * 8 / s / 1e6
@@ -322,6 +338,10 @@ func printMetrics(m clientMetrics) {
 	fmt.Printf("transfer     %d bytes in %.3f s (%.2f Mbps goodput)\n", m.Size, m.TransferSecs, m.GoodputMbps)
 	fmt.Printf("handshake    %.1f ms\n", m.HandshakeSecs*1e3)
 	fmt.Printf("packets      in %d, out %d\n", m.PacketsIn, m.PacketsOut)
+	if m.IngressBatches > 0 {
+		fmt.Printf("ingress      %d batches (mean %.1f pkts, max %d), kernel drops %d\n",
+			m.IngressBatches, float64(m.PacketsIn)/float64(m.IngressBatches), m.MaxBatch, m.RcvQueueDrops)
+	}
 	for _, p := range m.Paths {
 		fmt.Printf("path %d       %s -> %s: recv %d B (%.2f Mbps), sent %d B, cwnd %d B, srtt %.1f ms\n",
 			p.ID, p.Local, p.Remote, p.RecvBytes, p.Mbps, p.SentBytes, p.CwndBytes, p.SRTTms)

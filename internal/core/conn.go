@@ -32,13 +32,6 @@ type ConnStats struct {
 	TailReinjections uint64
 }
 
-// rawPayload carries a fully serialized packet through the emulator in
-// wire-serialization mode.
-type rawPayload struct{ b []byte }
-
-// WireSize implements netem.Payload.
-func (r rawPayload) WireSize() int { return len(r.b) }
-
 // Conn is one (Multipath) QUIC connection endpoint.
 type Conn struct {
 	cfg    Config
@@ -375,12 +368,9 @@ func (c *Conn) HandleDatagram(dg netem.Datagram) {
 		return
 	}
 	var pkt *wire.Packet
-	switch pl := dg.Payload.(type) {
-	case *wire.Packet:
-		pkt = pl
-	case rawPayload:
+	if raw := dg.Raw; raw != nil {
 		// Identify the path first to pick the right PN context.
-		hdr, _, err := wire.ParseHeader(pl.b, wire.InvalidPacketNumber)
+		hdr, _, err := wire.ParseHeader(raw, wire.InvalidPacketNumber)
 		if err != nil {
 			return // corrupted: a real stack drops silently
 		}
@@ -394,16 +384,18 @@ func (c *Conn) HandleDatagram(dg netem.Datagram) {
 		if !hdr.Handshake {
 			sealer = c.sealRecv
 		}
-		pkt, err = wire.DecodeBorrowed(pl.b, largest, sealer)
+		// Frames borrow raw; every payload-carrying frame is copied out
+		// by its handler before HandleDatagram returns, so the buffer
+		// can rejoin the encode pool afterwards (also on the corrupted-
+		// packet early return below).
+		defer wire.PutPacketBuf(raw)
+		pkt, err = wire.DecodeBorrowed(raw, largest, sealer)
 		if err != nil {
-			wire.PutPacketBuf(pl.b)
 			return
 		}
-		// Frames borrow pl.b; every payload-carrying frame is copied out
-		// by its handler before HandleDatagram returns, so the buffer
-		// can rejoin the encode pool afterwards.
-		defer wire.PutPacketBuf(pl.b)
-	default:
+	} else if pl, ok := dg.Payload.(*wire.Packet); ok {
+		pkt = pl
+	} else {
 		return
 	}
 	if pkt.Header.ConnID != c.connID {

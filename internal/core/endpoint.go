@@ -101,16 +101,15 @@ func (l *Listener) Conns() []*Conn {
 // HandleDatagram implements netem.Handler: dispatch by Connection ID.
 func (l *Listener) HandleDatagram(dg netem.Datagram) {
 	var cid wire.ConnectionID
-	switch pl := dg.Payload.(type) {
-	case *wire.Packet:
-		cid = pl.Header.ConnID
-	case rawPayload:
-		hdr, _, err := wire.ParseHeader(pl.b, wire.InvalidPacketNumber)
+	if dg.Raw != nil {
+		hdr, _, err := wire.ParseHeader(dg.Raw, wire.InvalidPacketNumber)
 		if err != nil {
 			return
 		}
 		cid = hdr.ConnID
-	default:
+	} else if pl, ok := dg.Payload.(*wire.Packet); ok {
+		cid = pl.Header.ConnID
+	} else {
 		return
 	}
 	c, ok := l.conns[cid]

@@ -412,15 +412,17 @@ func (c *Conn) sendPacket(p *Path, frames []wire.Frame, handshake, track bool) {
 	c.Stats.BytesSent += uint64(size)
 	c.trace(trace.Event{Type: trace.PacketSent, Path: uint8(p.ID), PN: uint64(pn), Size: size, Cwnd: p.cc.Cwnd()})
 
-	var payload netem.Payload = pkt
+	dg := netem.Datagram{From: p.Local, To: p.Remote, Size: size}
 	if c.cfg.WireSerialization {
 		var sealer wire.Sealer
 		if !handshake {
 			sealer = c.sealSend
 		}
-		payload = rawPayload{b: pkt.EncodeTo(wire.GetPacketBuf(), sealer)}
+		dg.Raw = pkt.EncodeTo(wire.GetPacketBuf(), sealer)
+	} else {
+		dg.Payload = pkt
 	}
-	c.net.Send(netem.Datagram{From: p.Local, To: p.Remote, Size: size, Payload: payload})
+	c.net.Send(dg)
 }
 
 // sendPacketOn is Close's helper: untracked single packet.

@@ -48,23 +48,19 @@ var _ DatagramSender = (*netem.Network)(nil)
 // the garbage collector, which PutPacketBuf tolerates).
 func RawDatagram(from, to netem.Addr, b []byte) netem.Datagram {
 	return netem.Datagram{
-		From:    from,
-		To:      to,
-		Size:    len(b) + wire.UDPIPv4Overhead,
-		Payload: rawPayload{b: b},
+		From: from,
+		To:   to,
+		Size: len(b) + wire.UDPIPv4Overhead,
+		Raw:  b,
 	}
 }
 
 // RawBytes returns the serialized packet bytes of a wire-serialization
-// payload, or (nil, false) when p is a struct-mode payload. Egress
+// datagram, or (nil, false) for a struct-mode datagram. Egress
 // drivers that move real bytes (internal/live) use it to unwrap what
 // Config.WireSerialization encoded; the returned slice aliases the
 // pooled encode buffer, so the caller owns returning it via
 // wire.PutPacketBuf once written out.
-func RawBytes(p netem.Payload) ([]byte, bool) {
-	r, ok := p.(rawPayload)
-	if !ok {
-		return nil, false
-	}
-	return r.b, true
+func RawBytes(dg netem.Datagram) ([]byte, bool) {
+	return dg.Raw, dg.Raw != nil
 }

@@ -3,6 +3,7 @@ package live
 import (
 	"fmt"
 	"net"
+	"net/netip"
 
 	"mpquic/internal/netem"
 )
@@ -11,7 +12,8 @@ import (
 // local path address.
 type pathSocket struct {
 	conn  *net.UDPConn
-	local netem.Addr // the actually-bound "ip:port", the path identity
+	local netem.Addr     // the actually-bound "ip:port", the path identity
+	ap    netip.AddrPort // the same address as a value, for /proc matching
 }
 
 // PathBinder maps the address identities the core stack uses for its
@@ -21,8 +23,9 @@ type pathSocket struct {
 //
 //   - local netem.Addr → the bound *net.UDPConn that owns it (egress
 //     socket selection, one socket per local interface address);
-//   - remote netem.Addr → a resolved *net.UDPAddr (egress
-//     destination), cached after the first lookup.
+//   - remote netem.Addr → a resolved netip.AddrPort (egress
+//     destination), cached after the first lookup so the per-packet
+//     egress path allocates nothing.
 //
 // Path IDs map through position: core.Dial pairs locals[i] with
 // remotes[i] as path i, and Locals() preserves the order the sockets
@@ -37,19 +40,20 @@ type pathSocket struct {
 type PathBinder struct {
 	socks   []*pathSocket
 	byLocal map[netem.Addr]*pathSocket
-	remotes map[netem.Addr]*net.UDPAddr
+	remotes map[netem.Addr]netip.AddrPort
 }
 
 // newPathBinder binds one UDP socket per local address. Addresses may
 // use port 0; the kernel-assigned port becomes part of the path
-// identity (see Locals). On error, already-bound sockets are closed.
-func newPathBinder(localAddrs []string) (*PathBinder, error) {
+// identity (see Locals). sockBuf is the SO_RCVBUF/SO_SNDBUF request
+// per socket. On error, already-bound sockets are closed.
+func newPathBinder(localAddrs []string, sockBuf int) (*PathBinder, error) {
 	if len(localAddrs) == 0 {
 		return nil, fmt.Errorf("live: need at least one local address")
 	}
 	b := &PathBinder{
 		byLocal: make(map[netem.Addr]*pathSocket, len(localAddrs)),
-		remotes: make(map[netem.Addr]*net.UDPAddr),
+		remotes: make(map[netem.Addr]netip.AddrPort),
 	}
 	for _, a := range localAddrs {
 		ua, err := net.ResolveUDPAddr("udp", a)
@@ -70,10 +74,15 @@ func newPathBinder(localAddrs []string) (*PathBinder, error) {
 		// Deep socket buffers: the driver drains sockets in batches
 		// between protocol events, so the kernel queue is the only
 		// thing standing between a burst and loss. Best-effort — the
-		// OS clamps to its limits.
-		pc.SetReadBuffer(1 << 21)
-		pc.SetWriteBuffer(1 << 21)
-		s := &pathSocket{conn: pc, local: netem.Addr(pc.LocalAddr().String())}
+		// OS clamps to its limits. Overflow shows up in
+		// Stats.RcvQueueDrops.
+		if sockBuf > 0 {
+			pc.SetReadBuffer(sockBuf)
+			pc.SetWriteBuffer(sockBuf)
+		}
+		lap := pc.LocalAddr().(*net.UDPAddr).AddrPort()
+		lap = netip.AddrPortFrom(lap.Addr().Unmap(), lap.Port())
+		s := &pathSocket{conn: pc, local: netem.Addr(lap.String()), ap: lap}
 		b.socks = append(b.socks, s)
 		b.byLocal[s.local] = s
 	}
@@ -104,18 +113,41 @@ func (b *PathBinder) socketFor(local netem.Addr) *pathSocket {
 	return b.byLocal[local]
 }
 
-// RemoteUDP resolves a remote path address to a UDP address, caching
-// the result (egress runs per packet; resolution must not).
-func (b *PathBinder) RemoteUDP(addr netem.Addr) (*net.UDPAddr, error) {
-	if ua, ok := b.remotes[addr]; ok {
-		return ua, nil
+// remoteAddrPort resolves a remote path address, caching the result
+// (egress runs per packet; resolution must not, and the cached value
+// type keeps the hot path allocation-free).
+func (b *PathBinder) remoteAddrPort(addr netem.Addr) (netip.AddrPort, bool) {
+	if ap, ok := b.remotes[addr]; ok {
+		return ap, ok
 	}
 	ua, err := net.ResolveUDPAddr("udp", string(addr))
 	if err != nil {
-		return nil, fmt.Errorf("live: resolve %s: %w", addr, err)
+		return netip.AddrPort{}, false
 	}
-	b.remotes[addr] = ua
-	return ua, nil
+	ap := ua.AddrPort()
+	ap = netip.AddrPortFrom(ap.Addr().Unmap(), ap.Port())
+	b.remotes[addr] = ap
+	return ap, true
+}
+
+// RemoteUDP resolves a remote path address to a UDP address, caching
+// the underlying lookup.
+func (b *PathBinder) RemoteUDP(addr netem.Addr) (*net.UDPAddr, error) {
+	ap, ok := b.remoteAddrPort(addr)
+	if !ok {
+		return nil, fmt.Errorf("live: resolve %s: unresolvable address", addr)
+	}
+	return net.UDPAddrFromAddrPort(ap), nil
+}
+
+// kernelDrops sums the kernel receive-queue overflow counters of every
+// bound socket (see sockstats.go); zero where unavailable.
+func (b *PathBinder) kernelDrops() uint64 {
+	var total uint64
+	for _, s := range b.socks {
+		total += procUDPDrops(s.ap)
+	}
+	return total
 }
 
 // closeSockets closes every bound socket, unblocking reader loops.

@@ -2,6 +2,7 @@ package live
 
 import (
 	"errors"
+	"sync/atomic"
 	"time"
 
 	"mpquic/internal/apps"
@@ -11,6 +12,11 @@ import (
 // ErrTimeout is returned by Download when the transfer does not
 // complete before its wall deadline.
 var ErrTimeout = errors.New("live: transfer deadline exceeded")
+
+// ErrCanceled is returned by DownloadWith when the Cancel channel
+// fires before the transfer completes. Callers holding the context
+// that produced the channel wrap this into their own typed error.
+var ErrCanceled = errors.New("live: download canceled")
 
 // AbortError is returned by Download when the connection terminates
 // before the transfer completes — the peer closed or aborted it, an
@@ -28,6 +34,16 @@ func (e *AbortError) Error() string {
 // Unwrap exposes the close reason to errors.Is / errors.As chains.
 func (e *AbortError) Unwrap() error { return e.Err }
 
+// DownloadOpts tunes DownloadWith.
+type DownloadOpts struct {
+	// Deadline bounds the transfer in wall time (<= 0 means no
+	// deadline); exceeding it returns ErrTimeout.
+	Deadline time.Duration
+	// Cancel aborts the transfer when it becomes readable (typically a
+	// context's Done channel); DownloadWith then returns ErrCanceled.
+	Cancel <-chan struct{}
+}
+
 // Download runs a blocking GET of size bytes on the client connection
 // over the live driver: it arms the transfer, drives the loop until
 // completion, and returns the result. Timestamps inside the result
@@ -36,21 +52,45 @@ func (e *AbortError) Unwrap() error { return e.Err }
 // deadline); exceeding it returns ErrTimeout, and a connection that
 // dies first returns *AbortError.
 func Download(d *Driver, client *core.Conn, size uint64, deadline time.Duration) (apps.GetResult, error) {
+	return DownloadWith(d, client, size, DownloadOpts{Deadline: deadline})
+}
+
+// DownloadWith is Download with explicit options (deadline plus
+// cancellation).
+func DownloadWith(d *Driver, client *core.Conn, size uint64, opts DownloadOpts) (apps.GetResult, error) {
 	var res *apps.GetResult
 	now := func() time.Duration { return d.clock.Now().Duration() }
 	apps.NewGetClient(client, size, now, func(r apps.GetResult) { res = &r })
 	timedOut := false
-	if deadline > 0 {
+	if opts.Deadline > 0 {
 		// The deadline is a plain sim event: wall deadlines and
 		// protocol timers share one timebase in live mode.
-		d.clock.At(d.clock.Now().Add(deadline), func() { timedOut = true })
+		d.clock.At(d.clock.Now().Add(opts.Deadline), func() { timedOut = true })
 	}
-	err := d.Run(func() bool { return res != nil || timedOut || client.Closed() })
+	var canceled atomic.Bool
+	if opts.Cancel != nil {
+		stop := make(chan struct{})
+		defer close(stop)
+		go func() {
+			select {
+			case <-opts.Cancel:
+				canceled.Store(true)
+				d.Wake() // unblock the loop so until() re-runs
+			case <-stop:
+			}
+		}()
+	}
+	err := d.Run(func() bool {
+		return res != nil || timedOut || client.Closed() || canceled.Load()
+	})
 	if err != nil {
 		return apps.GetResult{}, err
 	}
 	if res != nil {
 		return *res, nil
+	}
+	if canceled.Load() {
+		return apps.GetResult{}, ErrCanceled
 	}
 	if client.Closed() {
 		cerr := client.Err()

@@ -14,34 +14,56 @@
 // The driver owns a sim.Clock whose epoch is the moment Run starts.
 // Its loop is:
 //
-//  1. read Clock.NextDeadline() — the earliest armed protocol timer;
-//  2. block on socket readability until the wall image of that
-//     deadline (a select over reader-goroutine channels and a timer);
-//  3. on wake-up, advance the sim clock to wall-elapsed time with
-//     Clock.RunUntil, firing every due protocol timer;
-//  4. inject received datagrams via netem.Handler.HandleDatagram;
-//  5. flush queued egress datagrams to the right socket per path.
+//  1. read Clock.NextDeadline() — the earliest armed protocol timer —
+//     and arm a wall timer at that deadline's wall image, quantized up
+//     to the coalescing granularity (WithCoalesce, default 1 ms) so
+//     nearby timers share one wake-up;
+//  2. block on socket readability until that wall deadline (a select
+//     over the reader channel and the timer);
+//  3. on wake-up, drain every datagram the readers have queued into
+//     one batch, advance the sim clock once to wall-elapsed time with
+//     Clock.RunUntil (firing every due protocol timer), and inject the
+//     whole batch via netem.Handler.HandleDatagram;
+//  4. flush all egress datagrams queued during the step to their
+//     sockets in one pass.
 //
 // Virtual time therefore advances only through RunUntil and always to
 // the current wall-elapsed duration: sim time is a monotone map of
 // wall time, and everything stamped with sim time (traces, qlog,
 // series samples, RunMetrics) works untouched in live mode — the
-// timestamps simply read as wall-derived durations since Run.
+// timestamps simply read as wall-derived durations since Run. Note
+// that wake-up coalescing quantizes *timer-driven* work (and hence the
+// wall-derived timestamps of events it causes) to the granularity;
+// packet arrivals wake the loop immediately and are never delayed.
+//
+// # The ingress buffer ring
+//
+// Each datagram travels in a driver-owned buffer drawn from a fixed
+// ring (a buffered free-list channel). The buffers are deliberately
+// sized differently from wire.GetPacketBuf's pool, so the endpoint's
+// unconditional wire.PutPacketBuf after consuming the frames is a
+// documented no-op (see wire.PutPacketBuf) and ownership stays with
+// the driver: the loop returns each buffer to the ring as soon as
+// HandleDatagram returns (handlers consume frames synchronously — the
+// contract core.RawDatagram documents). Steady-state ingress therefore
+// performs zero allocations per packet, pinned by
+// internal/perf's live-loop allocation tests.
 //
 // # What determinism guarantees do NOT hold
 //
 // Live runs are not reproducible: packet arrival order and timing come
 // from the kernel and the network, loss is real (including loopback
-// socket-buffer overflow), and timer firings quantize to wall-clock
-// scheduling latency. The determinism contract of the simulator
+// socket-buffer overflow, surfaced via Stats.RcvQueueDrops), and timer
+// firings quantize to wall-clock scheduling latency plus the
+// coalescing granularity. The determinism contract of the simulator
 // (same seed → byte-identical artifacts) applies only to sim runs;
 // live mode inherits the protocol logic, not the reproducibility.
 //
 // # Concurrency
 //
-// One goroutine per socket blocks in ReadFromUDP and hands (buffer,
-// source) pairs to the driver loop over a channel; everything else —
-// clock, connections, handlers, egress — is touched only by the
+// One goroutine per socket blocks in ReadFromUDPAddrPort and hands
+// (buffer, source) pairs to the driver loop over a channel; everything
+// else — clock, connections, handlers, egress — is touched only by the
 // goroutine inside Run. This preserves the single-threaded discipline
 // the protocol core was built under, which is why the stack needs no
 // locks to be race-clean.
@@ -55,6 +77,7 @@ import (
 	"errors"
 	"fmt"
 	"net"
+	"net/netip"
 	"sync"
 	"time"
 
@@ -68,12 +91,60 @@ import (
 // until condition is met.
 var ErrClosed = errors.New("live: driver closed")
 
+// DefaultCoalesce is the default wake-up coalescing granularity: timer
+// deadlines are rounded up to this grid so the loop does work in
+// bursts instead of thrashing between NextDeadline and select. 1 ms is
+// roughly the stack's natural pacing timescale (well under the 25 ms
+// delayed-ACK timer and any RTO) while collapsing the sub-millisecond
+// timer churn a fast transfer generates.
+const DefaultCoalesce = time.Millisecond
+
+// DefaultSocketBuffer is the SO_RCVBUF/SO_SNDBUF size requested for
+// every path socket. The driver drains sockets in batches between
+// protocol events, so the kernel queue is the only thing standing
+// between a burst and loss; the OS clamps to its own limits.
+const DefaultSocketBuffer = 1 << 22
+
+// ingressBufCap is the capacity of ring buffers carrying received
+// datagrams. It intentionally differs from the wire pool's 1500-byte
+// buffers: wire.PutPacketBuf ignores foreign capacities, so the
+// endpoint's put after consuming the frames is a no-op and the driver
+// keeps ownership for ring recycling.
+const ingressBufCap = 2048
+
+// recvQueueLen bounds datagrams in flight between the reader
+// goroutines and the driver loop; the ring holds slightly more
+// buffers so a full queue still recycles allocation-free.
+const recvQueueLen = 1024
+
+// ingressBatchCap bounds how many queued datagrams one clock step
+// injects; the remainder is picked up by the next loop iteration.
+const ingressBatchCap = 256
+
+// Option tunes a Driver at construction.
+type Option func(*Driver)
+
+// WithCoalesce sets the wake-up coalescing granularity: the wall image
+// of the next protocol-timer deadline is rounded up to a multiple of g
+// before arming the loop's timer. Zero or negative disables
+// coalescing (every timer deadline gets an exact wake-up).
+func WithCoalesce(g time.Duration) Option {
+	return func(d *Driver) { d.coalesce = g }
+}
+
+// WithSocketBuffer requests b bytes of SO_RCVBUF and SO_SNDBUF per
+// path socket instead of DefaultSocketBuffer. Best-effort — the OS
+// clamps to its limits. Tests use tiny values to force overflow.
+func WithSocketBuffer(b int) Option {
+	return func(d *Driver) { d.sockBuf = b }
+}
+
 // packetIn is one received datagram crossing from a reader goroutine
-// into the driver loop. buf is pool-backed (wire.GetPacketBuf);
-// ownership transfers with the message.
+// into the driver loop. buf is ring-backed; ownership transfers with
+// the message and returns to the ring once the handler consumed it.
 type packetIn struct {
 	local netem.Addr
-	from  *net.UDPAddr
+	from  netip.AddrPort
 	buf   []byte
 	err   error // terminal reader error; buf is nil
 }
@@ -88,6 +159,19 @@ type Stats struct {
 	NoHandler   uint64 // ingress dropped: no handler for the socket
 	NoRoute     uint64 // egress dropped: unknown local addr or bad remote
 	WriteErrors uint64 // egress dropped: socket write failed (treated as loss)
+
+	// IngressBatches counts clock steps that injected at least one
+	// datagram; PacketsIn / IngressBatches is the mean batch size the
+	// batched loop achieved.
+	IngressBatches uint64
+	// MaxBatch is the largest single-step ingress batch observed.
+	MaxBatch uint64
+	// RcvQueueDrops is the kernel's receive-queue overflow count for
+	// the driver's sockets (datagrams the kernel dropped because
+	// SO_RCVBUF was full), read from /proc/net/udp[6]. Updated when
+	// Run returns and by UpdateSocketStats; zero where the platform
+	// does not expose the counter.
+	RcvQueueDrops uint64
 }
 
 // Driver runs a sim.Clock against wall time and moves datagrams
@@ -101,17 +185,25 @@ type Stats struct {
 //
 // Setup (NewDriver, Dial/Listen, Register) happens before Run; the
 // goroutine calling Run then owns all protocol state until Run
-// returns. Close may be called from any goroutine.
+// returns. Close and Wake may be called from any goroutine.
 type Driver struct {
 	clock    *sim.Clock
 	binder   *PathBinder
 	handlers map[netem.Addr]netem.Handler
 	egress   []netem.Datagram
 
+	coalesce time.Duration
+	sockBuf  int
+
 	recvCh  chan packetIn
+	freeCh  chan []byte // the ingress buffer ring
+	wakeCh  chan struct{}
 	closeCh chan struct{}
 	closeMu sync.Once
 	readers sync.WaitGroup
+
+	inBatch   []packetIn
+	addrNames map[netip.AddrPort]netem.Addr
 
 	start   time.Time
 	started bool
@@ -124,18 +216,27 @@ var _ core.DatagramSender = (*Driver)(nil)
 // NewDriver binds one UDP socket per local address (port 0 picks a
 // free port; see Driver.LocalAddrs for the bound result) and starts
 // its reader goroutines. The caller owns the driver until Close.
-func NewDriver(localAddrs []string) (*Driver, error) {
-	binder, err := newPathBinder(localAddrs)
+func NewDriver(localAddrs []string, opts ...Option) (*Driver, error) {
+	d := &Driver{
+		clock:     sim.NewClock(),
+		handlers:  make(map[netem.Addr]netem.Handler),
+		coalesce:  DefaultCoalesce,
+		sockBuf:   DefaultSocketBuffer,
+		recvCh:    make(chan packetIn, recvQueueLen),
+		freeCh:    make(chan []byte, recvQueueLen+64),
+		wakeCh:    make(chan struct{}, 1),
+		closeCh:   make(chan struct{}),
+		inBatch:   make([]packetIn, 0, ingressBatchCap),
+		addrNames: make(map[netip.AddrPort]netem.Addr),
+	}
+	for _, o := range opts {
+		o(d)
+	}
+	binder, err := newPathBinder(localAddrs, d.sockBuf)
 	if err != nil {
 		return nil, err
 	}
-	d := &Driver{
-		clock:    sim.NewClock(),
-		binder:   binder,
-		handlers: make(map[netem.Addr]netem.Handler),
-		recvCh:   make(chan packetIn, 1024),
-		closeCh:  make(chan struct{}),
-	}
+	d.binder = binder
 	for _, s := range binder.socks {
 		d.readers.Add(1)
 		go d.readLoop(s)
@@ -169,6 +270,56 @@ func (d *Driver) Send(dg netem.Datagram) {
 	d.egress = append(d.egress, dg)
 }
 
+// PendingIngress reports datagrams received by the readers but not yet
+// injected (safe from any goroutine; tests use it to observe bursts
+// queue up before a step).
+func (d *Driver) PendingIngress() int { return len(d.recvCh) }
+
+// Wake nudges a blocked Run iteration from any goroutine: the loop
+// advances the clock, flushes egress and re-checks its until
+// condition. Download's context cancellation uses it.
+func (d *Driver) Wake() {
+	select {
+	case d.wakeCh <- struct{}{}:
+	default:
+	}
+}
+
+// getIngressBuf takes a buffer from the ring, falling back to the
+// allocator only while the ring is still filling.
+func (d *Driver) getIngressBuf() []byte {
+	select {
+	case b := <-d.freeCh:
+		return b
+	default:
+		return make([]byte, ingressBufCap)
+	}
+}
+
+// putIngressBuf returns a consumed buffer to the ring (dropping it to
+// the garbage collector if the ring is full).
+func (d *Driver) putIngressBuf(b []byte) {
+	if cap(b) != ingressBufCap {
+		return
+	}
+	select {
+	case d.freeCh <- b[:ingressBufCap]:
+	default:
+	}
+}
+
+// addrName interns the netem.Addr string identity of a source address,
+// so steady-state ingress does not allocate per packet. Driver
+// goroutine only.
+func (d *Driver) addrName(ap netip.AddrPort) netem.Addr {
+	if a, ok := d.addrNames[ap]; ok {
+		return a
+	}
+	a := netem.Addr(ap.String())
+	d.addrNames[ap] = a
+	return a
+}
+
 // readLoop blocks on one socket, handing received datagrams to the
 // driver loop. It exits when the socket closes.
 func (d *Driver) readLoop(s *pathSocket) {
@@ -180,12 +331,15 @@ func (d *Driver) readLoop(s *pathSocket) {
 // readOne performs one blocking read and hands the datagram to the
 // driver loop, reporting whether the loop should continue. Buffer
 // ownership transfers with the channel send; every other exit recycles
-// the buffer (the single trailing PutPacketBuf).
+// the buffer back to the ring.
 func (d *Driver) readOne(s *pathSocket) bool {
-	buf := wire.GetPacketBuf()
+	buf := d.getIngressBuf()
 	b := buf[:cap(buf)]
-	n, from, err := s.conn.ReadFromUDP(b)
+	n, from, err := s.conn.ReadFromUDPAddrPort(b)
 	if err == nil {
+		// Unmap 4-in-6 so the string identity matches the literal
+		// "ip:port" the peer's binder published.
+		from = netip.AddrPortFrom(from.Addr().Unmap(), from.Port())
 		select {
 		case d.recvCh <- packetIn{local: s.local, from: from, buf: b[:n]}:
 			return true
@@ -199,7 +353,7 @@ func (d *Driver) readOne(s *pathSocket) bool {
 		case <-d.closeCh:
 		}
 	}
-	wire.PutPacketBuf(b)
+	d.putIngressBuf(b)
 	return false
 }
 
@@ -216,11 +370,13 @@ func (d *Driver) Run(until func() bool) error {
 		d.started = true
 		d.start = time.Now()
 	}
+	defer d.UpdateSocketStats()
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
 		<-timer.C
 	}
 	defer timer.Stop()
+	var armed time.Time // wall deadline the timer is armed at; zero when unarmed
 	for {
 		if err := d.flush(); err != nil {
 			return err
@@ -228,41 +384,44 @@ func (d *Driver) Run(until func() bool) error {
 		if until != nil && until() {
 			return nil
 		}
-		// Arm the wake-up at the wall image of the next sim deadline.
+		// Arm the wake-up at the wall image of the next sim deadline,
+		// quantized up to the coalescing grid. An already-armed timer
+		// at the same target is left alone — packet-driven iterations
+		// pay zero timer syscalls.
 		var timerC <-chan time.Time
 		if dl := d.clock.NextDeadline(); dl != sim.Never {
-			wait := time.Until(d.start.Add(dl.Duration()))
-			if wait < 0 {
-				wait = 0
+			target := d.start.Add(d.quantize(dl.Duration()))
+			if !target.Equal(armed) {
+				if !armed.IsZero() && !timer.Stop() {
+					select {
+					case <-timer.C:
+					default:
+					}
+				}
+				timer.Reset(time.Until(target))
+				armed = target
 			}
-			timer.Reset(wait)
 			timerC = timer.C
-		}
-		select {
-		case p := <-d.recvCh:
-			if timerC != nil && !timer.Stop() {
+		} else if !armed.IsZero() {
+			if !timer.Stop() {
 				select {
 				case <-timer.C:
 				default:
 				}
 			}
-			if err := d.handlePacket(p); err != nil {
+			armed = time.Time{}
+		}
+		select {
+		case p := <-d.recvCh:
+			if err := d.ingest(p); err != nil {
 				return err
 			}
-			// Drain whatever else already arrived before re-arming:
-			// one advance + flush then covers the whole batch.
-		drain:
-			for {
-				select {
-				case q := <-d.recvCh:
-					if err := d.handlePacket(q); err != nil {
-						return err
-					}
-				default:
-					break drain
-				}
-			}
 		case <-timerC:
+			armed = time.Time{}
+			if err := d.advance(); err != nil {
+				return err
+			}
+		case <-d.wakeCh:
 			if err := d.advance(); err != nil {
 				return err
 			}
@@ -273,28 +432,74 @@ func (d *Driver) Run(until func() bool) error {
 	}
 }
 
-// handlePacket advances the clock to wall-elapsed time, then injects
-// one received datagram into the registered handler.
-func (d *Driver) handlePacket(p packetIn) error {
-	if p.err != nil {
-		return p.err
+// quantize rounds a sim deadline up to the coalescing grid (anchored
+// at the epoch), so deadlines within one granule share a wake-up.
+func (d *Driver) quantize(dl time.Duration) time.Duration {
+	if d.coalesce <= 0 {
+		return dl
 	}
+	q := d.coalesce
+	return (dl + q - 1) / q * q
+}
+
+// ingest drains every datagram already queued by the readers into one
+// batch, advances the clock once, and injects the whole batch — the
+// batched-ingress half of the fast lane: one wake-up, one clock step,
+// one egress flush for the entire burst.
+func (d *Driver) ingest(first packetIn) error {
+	batch := append(d.inBatch[:0], first)
+drain:
+	for len(batch) < cap(batch) {
+		select {
+		case q := <-d.recvCh:
+			batch = append(batch, q)
+		default:
+			break drain
+		}
+	}
+	d.inBatch = batch[:0] // retain the scratch backing array
 	if err := d.advance(); err != nil {
-		wire.PutPacketBuf(p.buf)
+		recycleFrom(d, batch, 0)
 		return err
 	}
-	h := d.handlers[p.local]
-	if h == nil {
-		d.Stats.NoHandler++
-		wire.PutPacketBuf(p.buf)
-		return nil
+	d.Stats.IngressBatches++
+	if n := uint64(len(batch)); n > d.Stats.MaxBatch {
+		d.Stats.MaxBatch = n
 	}
-	d.Stats.PacketsIn++
-	d.Stats.BytesIn += uint64(len(p.buf))
-	// The handler consumes the frames synchronously and returns the
-	// buffer to the pool (see core.RawDatagram).
-	h.HandleDatagram(core.RawDatagram(netem.Addr(p.from.String()), p.local, p.buf))
+	for i := range batch {
+		p := &batch[i]
+		if p.err != nil {
+			recycleFrom(d, batch, i+1)
+			return p.err
+		}
+		h := d.handlers[p.local]
+		if h == nil {
+			d.Stats.NoHandler++
+			d.putIngressBuf(p.buf)
+			*p = packetIn{}
+			continue
+		}
+		d.Stats.PacketsIn++
+		d.Stats.BytesIn += uint64(len(p.buf))
+		// The handler consumes the frames synchronously (see
+		// core.RawDatagram); its wire.PutPacketBuf is a no-op on ring
+		// buffers, so the buffer returns to the ring right here.
+		h.HandleDatagram(core.RawDatagram(d.addrName(p.from), p.local, p.buf))
+		d.putIngressBuf(p.buf)
+		*p = packetIn{}
+	}
 	return nil
+}
+
+// recycleFrom returns the unprocessed tail of a batch to the ring
+// (error exits only).
+func recycleFrom(d *Driver, batch []packetIn, from int) {
+	for i := from; i < len(batch); i++ {
+		if batch[i].buf != nil {
+			d.putIngressBuf(batch[i].buf)
+		}
+		batch[i] = packetIn{}
+	}
 }
 
 // advance moves sim time forward to the current wall-elapsed
@@ -309,51 +514,70 @@ func (d *Driver) advance() error {
 	return nil
 }
 
-// flush writes every queued egress datagram to the socket owning its
-// From address. Write failures are packet loss (counted, not fatal),
-// as a real wire would drop them.
+// flush writes every egress datagram queued during the step to the
+// socket owning its From address, in one pass over the persistent
+// scratch slice (consecutive datagrams from one path reuse the socket
+// and resolved-remote lookups). Write failures are packet loss
+// (counted, not fatal), as a real wire would drop them.
 func (d *Driver) flush() error {
+	if len(d.egress) == 0 {
+		return nil
+	}
+	var (
+		lastFrom netem.Addr
+		lastSock *pathSocket
+		lastTo   netem.Addr
+		lastAP   netip.AddrPort
+		lastOK   bool
+	)
+	var firstErr error
 	for i := range d.egress {
 		dg := d.egress[i]
 		d.egress[i] = netem.Datagram{} // drop the payload reference
-		if err := d.writeDatagram(dg); err != nil {
-			d.egress = d.egress[:0]
-			return err
+		if firstErr != nil {
+			if b, ok := core.RawBytes(dg); ok {
+				wire.PutPacketBuf(b)
+			}
+			continue
 		}
+		b, ok := core.RawBytes(dg)
+		if !ok {
+			firstErr = fmt.Errorf("live: struct-mode payload %s->%s; endpoints must enable Config.WireSerialization", dg.From, dg.To)
+			continue
+		}
+		if dg.From != lastFrom || lastSock == nil {
+			lastFrom = dg.From
+			lastSock = d.binder.socketFor(dg.From)
+		}
+		if dg.To != lastTo || !lastOK {
+			lastTo = dg.To
+			lastAP, lastOK = d.binder.remoteAddrPort(dg.To)
+		}
+		if lastSock == nil || !lastOK {
+			d.Stats.NoRoute++
+		} else if _, err := lastSock.conn.WriteToUDPAddrPort(b, lastAP); err != nil {
+			d.Stats.WriteErrors++
+		} else {
+			d.Stats.PacketsOut++
+			d.Stats.BytesOut += uint64(len(b))
+		}
+		wire.PutPacketBuf(b)
 	}
 	d.egress = d.egress[:0]
-	return nil
-}
-
-// writeDatagram sends one egress datagram and recycles its buffer.
-func (d *Driver) writeDatagram(dg netem.Datagram) error {
-	b, ok := core.RawBytes(dg.Payload)
-	if !ok {
-		return fmt.Errorf("live: struct-mode payload %s->%s; endpoints must enable Config.WireSerialization", dg.From, dg.To)
-	}
-	defer wire.PutPacketBuf(b)
-	s := d.binder.socketFor(dg.From)
-	if s == nil {
-		d.Stats.NoRoute++
-		return nil
-	}
-	ra, err := d.binder.RemoteUDP(dg.To)
-	if err != nil {
-		d.Stats.NoRoute++
-		return nil
-	}
-	if _, err := s.conn.WriteToUDP(b, ra); err != nil {
-		d.Stats.WriteErrors++
-	} else {
-		d.Stats.PacketsOut++
-		d.Stats.BytesOut += uint64(len(b))
-	}
-	return nil
+	return firstErr
 }
 
 // Flush writes any queued egress immediately (e.g. a CONNECTION_CLOSE
 // sent after Run returned).
 func (d *Driver) Flush() error { return d.flush() }
+
+// UpdateSocketStats refreshes Stats.RcvQueueDrops from the kernel
+// (best-effort; see Stats). Run calls it on exit; call it directly
+// when reading stats without having driven the loop. Not safe
+// concurrently with a running Run (it writes Stats).
+func (d *Driver) UpdateSocketStats() {
+	d.Stats.RcvQueueDrops = d.binder.kernelDrops()
+}
 
 // Close shuts the driver down: sockets close (unblocking readers) and
 // a concurrent Run returns ErrClosed. Safe to call from any goroutine

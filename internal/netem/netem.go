@@ -38,6 +38,12 @@ type Datagram struct {
 	// transport-layer framing. Links serialize Size bytes.
 	Size    int
 	Payload Payload
+	// Raw carries the serialized packet bytes in wire-serialization
+	// mode; Payload is nil then. A plain field rather than a Payload
+	// implementation so the per-packet hot paths never pay an
+	// interface-boxing allocation (a slice does not fit an interface
+	// word; see core.RawDatagram).
+	Raw []byte
 }
 
 // Handler receives datagrams addressed to a registered address.

@@ -52,9 +52,28 @@ func (r *RecvStream) OnFrame(f *wire.StreamFrame) (newBytes uint64, err error) {
 	newBytes = r.received.Size() - before
 	if f.Data != nil {
 		if uint64(len(r.buf)) < end {
-			grown := make([]byte, end)
-			copy(grown, r.buf)
-			r.buf = grown
+			if uint64(cap(r.buf)) >= end {
+				r.buf = r.buf[:end]
+			} else {
+				// Grow geometrically: extending by one frame at a time
+				// would reallocate and copy the whole reassembly buffer
+				// per packet — O(n²) over a transfer, and the dominant
+				// cost of a fast live-mode download. When the stream
+				// length is already known (FIN seen), size to it exactly.
+				newCap := uint64(cap(r.buf)) * 2
+				if newCap < end {
+					newCap = end
+				}
+				if newCap < 16<<10 {
+					newCap = 16 << 10
+				}
+				if r.hasFin && r.finOffset >= end && newCap > r.finOffset {
+					newCap = r.finOffset
+				}
+				grown := make([]byte, end, newCap)
+				copy(grown, r.buf)
+				r.buf = grown
+			}
 		}
 		copy(r.buf[f.Offset:end], f.Data)
 	}

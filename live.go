@@ -1,6 +1,7 @@
 package mpquic
 
 import (
+	"errors"
 	"time"
 
 	"mpquic/internal/apps"
@@ -10,7 +11,7 @@ import (
 )
 
 // Live mode: the same protocol stack over real UDP sockets and a wall
-// clock (internal/live), behind the same facade shapes as the
+// clock (internal/live), behind the same Fabric facade as the
 // emulated Network. See DESIGN.md, "Live mode".
 
 // DefaultLiveDeadline is the wall-time budget LiveNetwork.Download
@@ -19,14 +20,37 @@ import (
 // effectively-unbounded virtual deadline.
 const DefaultLiveDeadline = 2 * time.Minute
 
-// ErrLiveClosed is returned by LiveNetwork.Serve when the network is
-// closed — the clean way to stop a live server.
-var ErrLiveClosed = live.ErrClosed
+// ErrLiveClosed is the former name of ErrClosed, from when only the
+// live backend had a Serve loop to stop.
+//
+// Deprecated: use ErrClosed; both backends return it. This alias is
+// kept for one release.
+var ErrLiveClosed = ErrClosed
 
-// LiveAbortError is returned by LiveNetwork.Download when the
-// connection dies before the transfer completes; it wraps the close
-// reason.
-type LiveAbortError = live.AbortError
+// LiveAbortError is the former name of AbortError, from when only the
+// live backend reported connection death as a typed error.
+//
+// Deprecated: use AbortError; both backends return it. This alias is
+// kept for one release.
+type LiveAbortError = AbortError
+
+// LiveOption tunes a live network at construction (see NewLiveWith).
+type LiveOption = live.Option
+
+// WithCoalesce sets the live wake-up coalescing granularity: protocol
+// timer wake-ups are quantized up to the next multiple of g, batching
+// near-simultaneous timers into one wake-up. Zero disables
+// coalescing; the default is live.DefaultCoalesce. Coalescing bounds
+// timer precision (and therefore wall-derived qlog timestamps) by g —
+// see OBSERVABILITY.md.
+func WithCoalesce(g time.Duration) LiveOption { return live.WithCoalesce(g) }
+
+// WithSocketBuffer requests b bytes of SO_RCVBUF and SO_SNDBUF per
+// UDP socket (best-effort; the OS clamps to its limits). Zero keeps
+// the OS default; unset means live.DefaultSocketBuffer. Kernel
+// receive-queue overflow is surfaced via the driver's
+// Stats.RcvQueueDrops.
+func WithSocketBuffer(b int) LiveOption { return live.WithSocketBuffer(b) }
 
 // LiveNetwork runs MPQUIC endpoints over real UDP sockets: one socket
 // per local path address, sim time mapped monotonically onto wall
@@ -39,7 +63,13 @@ type LiveNetwork struct {
 // NewLive binds one UDP socket per local address ("ip:port"; port 0
 // picks a free port) and returns a live network. Close it when done.
 func NewLive(localAddrs ...string) (*LiveNetwork, error) {
-	d, err := live.NewDriver(localAddrs)
+	return NewLiveWith(localAddrs)
+}
+
+// NewLiveWith is NewLive with tuning options (WithCoalesce,
+// WithSocketBuffer).
+func NewLiveWith(localAddrs []string, opts ...LiveOption) (*LiveNetwork, error) {
+	d, err := live.NewDriver(localAddrs, opts...)
 	if err != nil {
 		return nil, err
 	}
@@ -75,9 +105,15 @@ func (n *LiveNetwork) Listen(cfg Config) *Listener {
 // ServeGet attaches the paper's GET file server to a listener.
 func (n *LiveNetwork) ServeGet(l *Listener) { apps.NewGetServer(l) }
 
-// Serve drives the server loop until Close (returns ErrLiveClosed) or
-// a socket error. Call after Listen+ServeGet.
-func (n *LiveNetwork) Serve() error { return n.d.Run(nil) }
+// Serve drives the server loop until Close (returns ErrClosed) or a
+// socket error. Call after Listen+ServeGet.
+func (n *LiveNetwork) Serve() error {
+	err := n.d.Run(nil)
+	if errors.Is(err, live.ErrClosed) {
+		return ErrClosed
+	}
+	return err
+}
 
 // Dial opens a client connection toward remote path addresses, one
 // per bound local socket (remotes[i] pairs with local socket i as
@@ -93,25 +129,48 @@ func (n *LiveNetwork) Dial(cfg Config, connID uint64, remotes ...string) *Conn {
 // Download runs a blocking GET of size bytes over the live network,
 // driving the wall-clock loop until completion. Timestamps in the
 // result are wall-derived durations since the loop first started. It
-// returns ErrTimeout after DefaultLiveDeadline, or a *LiveAbortError
-// if the connection dies first.
+// returns ErrTimeout after DefaultLiveDeadline, or an *AbortError if
+// the connection dies first.
 func (n *LiveNetwork) Download(client *Conn, size uint64) (GetResult, error) {
 	return n.DownloadWith(client, size, DownloadOpts{})
 }
 
-// DownloadWith is Download with an explicit wall deadline.
+// DownloadWith is Download with explicit options. Opts.Ctx
+// cancellation is honored mid-transfer: the loop wakes and returns
+// Ctx.Err(). Errors surface as the unified facade types — ErrTimeout,
+// *AbortError, ErrClosed — the same as the emulated backend.
 func (n *LiveNetwork) DownloadWith(client *Conn, size uint64, opts DownloadOpts) (GetResult, error) {
 	deadline := opts.Deadline
 	if deadline <= 0 {
 		deadline = DefaultLiveDeadline
 	}
-	res, err := live.Download(n.d, client, size, deadline)
-	if err == live.ErrTimeout {
+	lopts := live.DownloadOpts{Deadline: deadline}
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return GetResult{}, err
+		}
+		lopts.Cancel = opts.Ctx.Done()
+	}
+	res, err := live.DownloadWith(n.d, client, size, lopts)
+	switch {
+	case err == nil:
+	case errors.Is(err, live.ErrTimeout):
 		err = ErrTimeout // the facade's timeout error, same as Network
+	case errors.Is(err, live.ErrClosed):
+		err = ErrClosed
+	case errors.Is(err, live.ErrCanceled):
+		if opts.Ctx != nil && opts.Ctx.Err() != nil {
+			err = opts.Ctx.Err()
+		}
+	default:
+		var la *live.AbortError
+		if errors.As(err, &la) {
+			err = &AbortError{Err: la.Err}
+		}
 	}
 	return res, err
 }
 
-// Close shuts the sockets down; a concurrent Serve returns
-// ErrLiveClosed. Safe to call more than once.
+// Close shuts the sockets down; a concurrent Serve returns ErrClosed.
+// Safe to call more than once.
 func (n *LiveNetwork) Close() error { return n.d.Close() }

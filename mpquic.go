@@ -41,8 +41,10 @@
 package mpquic
 
 import (
+	"context"
 	"errors"
 	"io"
+	"sync"
 	"time"
 
 	"mpquic/internal/apps"
@@ -105,10 +107,76 @@ const DefaultEventLimit = 500_000_000
 // grants a transfer before returning ErrTimeout.
 const DefaultDownloadDeadline = 24 * time.Hour
 
-// ErrTimeout is returned by Network.Download and Network.DownloadWith
-// when the transfer does not complete before its deadline (e.g. every
-// path died mid-run).
+// ErrTimeout is returned by Download and DownloadWith — on either
+// backend — when the transfer does not complete before its deadline
+// (e.g. every path died mid-run).
 var ErrTimeout = errors.New("mpquic: transfer deadline exceeded")
+
+// ErrClosed is returned by Serve — on either backend — when the
+// fabric is closed: the clean way to stop a server. Both *Network and
+// *LiveNetwork surface it, so callers match it with errors.Is
+// regardless of the backend behind the Fabric.
+var ErrClosed = errors.New("mpquic: fabric closed")
+
+// AbortError is returned by Download and DownloadWith — on either
+// backend — when the connection terminates before the transfer
+// completes: the peer closed or aborted it, an idle timeout fired, or
+// a protocol error tore it down. Err carries the connection's close
+// reason; match with errors.As regardless of the backend.
+type AbortError struct{ Err error }
+
+func (e *AbortError) Error() string {
+	if e.Err == nil {
+		return "mpquic: connection aborted"
+	}
+	return "mpquic: connection aborted: " + e.Err.Error()
+}
+
+// Unwrap exposes the close reason to errors.Is / errors.As chains.
+func (e *AbortError) Unwrap() error { return e.Err }
+
+// Fabric is the backend-independent face of a network that can run
+// MPQUIC endpoints: the emulated *Network (virtual time, deterministic)
+// and the real-socket *LiveNetwork (wall time, kernel-scheduled) both
+// satisfy it, so experiment harnesses and applications written against
+// Fabric run unchanged on either.
+//
+// Semantics shared by both backends:
+//
+//   - Listen starts a server on the backend's local addresses;
+//     ServeGet attaches the paper's GET responder to it.
+//   - Serve blocks until Close and then returns ErrClosed (or an I/O
+//     error, live only). The emulated backend needs no Serve to make
+//     progress — Download drives the virtual clock — so there Serve
+//     exists for lifecycle parity: run it in a goroutine and Close to
+//     release it, exactly as with a live server.
+//   - Dial opens a client connection; remotes optionally overrides the
+//     remote path addresses (required for live, where the peer's
+//     bound ports are not knowable in advance; optional for the
+//     emulated backend, which defaults to its own server addresses).
+//   - Download/DownloadWith run a blocking GET and return the result
+//     or one of the unified errors: ErrTimeout past the deadline,
+//     *AbortError if the connection died first, ErrClosed if the
+//     fabric was closed mid-transfer, or the DownloadOpts.Ctx error if
+//     the caller canceled.
+//   - Close releases the backend (sockets for live, the Serve latch
+//     for the emulated network). Safe to call more than once.
+type Fabric interface {
+	Listen(cfg Config) *Listener
+	ServeGet(l *Listener)
+	Serve() error
+	Dial(cfg Config, connID uint64, remotes ...string) *Conn
+	Download(client *Conn, size uint64) (GetResult, error)
+	DownloadWith(client *Conn, size uint64, opts DownloadOpts) (GetResult, error)
+	Close() error
+}
+
+// Both backends satisfy Fabric; the conformance suite in
+// fabric_test.go exercises the shared semantics over each.
+var (
+	_ Fabric = (*Network)(nil)
+	_ Fabric = (*LiveNetwork)(nil)
+)
 
 // TwoPathConfig describes the Fig. 2 topology: a dual-homed client and
 // server joined by two disjoint paths.
@@ -127,6 +195,9 @@ type TwoPathConfig struct {
 type Network struct {
 	clock *sim.Clock
 	tp    *netem.TwoPathNet
+
+	closeOnce sync.Once
+	done      chan struct{}
 }
 
 // NewTwoPathNetwork builds the emulated Fig. 2 topology.
@@ -137,7 +208,7 @@ func NewTwoPathNetwork(cfg TwoPathConfig) *Network {
 		clock.Limit = DefaultEventLimit
 	}
 	tp := netem.NewTwoPath(clock, sim.NewRand(cfg.Seed), [2]netem.PathSpec{cfg.Path0, cfg.Path1})
-	return &Network{clock: clock, tp: tp}
+	return &Network{clock: clock, tp: tp, done: make(chan struct{})}
 }
 
 // Now reports the current virtual time.
@@ -178,14 +249,26 @@ func (n *Network) Listen(cfg Config) *Listener {
 	return core.Listen(n.tp.Net, cfg, addrs)
 }
 
-// Dial opens a client connection over the network. Multipath configs
-// get both address pairs; single-path configs only the first.
-func (n *Network) Dial(cfg Config, connID uint64) *Conn {
-	locals, remotes := n.tp.ClientAddrs[:], n.tp.ServerAddrs[:]
-	if !cfg.Multipath {
-		locals, remotes = locals[:1], remotes[:1]
+// Dial opens a client connection over the network. With no explicit
+// remotes, multipath configs get both address pairs and single-path
+// configs only the first. Explicit remotes (the Fabric form; at most
+// one per client address, in path order) override the defaults —
+// e.g. dial only ServerAddr(0) to model a server whose second address
+// is learned later via ADD_ADDRESS.
+func (n *Network) Dial(cfg Config, connID uint64, remotes ...string) *Conn {
+	locals, remoteAddrs := n.tp.ClientAddrs[:], n.tp.ServerAddrs[:]
+	if len(remotes) > 0 {
+		remoteAddrs = make([]netem.Addr, len(remotes))
+		for i, r := range remotes {
+			remoteAddrs[i] = netem.Addr(r)
+		}
+	} else if !cfg.Multipath {
+		remoteAddrs = remoteAddrs[:1]
 	}
-	return core.Dial(n.tp.Net, cfg, core.NewConnID(connID), locals, remotes)
+	if !cfg.Multipath && len(locals) > 1 {
+		locals = locals[:1]
+	}
+	return core.Dial(n.tp.Net, cfg, core.NewConnID(connID), locals, remoteAddrs)
 }
 
 // DialPartial opens a multipath client that initially knows only the
@@ -201,24 +284,60 @@ func (n *Network) ServeGet(l *Listener) { apps.NewGetServer(l) }
 // ServeEcho attaches the §4.3 request/response responder.
 func (n *Network) ServeEcho(l *Listener) { apps.NewEchoServer(l) }
 
-// DownloadOpts tunes Network.DownloadWith.
+// Serve blocks until Close, then returns ErrClosed — the Fabric
+// server lifecycle. The emulated network makes progress without it
+// (Download drives the virtual clock from the caller's goroutine), so
+// Serve only parks: run it in a goroutine, as with a live server, and
+// Close to release it.
+func (n *Network) Serve() error {
+	<-n.done
+	return ErrClosed
+}
+
+// Close releases the network: a concurrent or future Serve returns
+// ErrClosed. The virtual clock and emulated links carry no OS
+// resources, so there is nothing else to tear down. Safe to call more
+// than once.
+func (n *Network) Close() error {
+	n.closeOnce.Do(func() { close(n.done) })
+	return nil
+}
+
+// DownloadOpts tunes DownloadWith on either backend.
 type DownloadOpts struct {
-	// Deadline bounds the transfer in virtual time, measured from the
-	// moment DownloadWith is called. Zero means
-	// DefaultDownloadDeadline.
+	// Deadline bounds the transfer, measured from the moment
+	// DownloadWith is called — in virtual time on the emulated
+	// backend (zero means DefaultDownloadDeadline), in wall time on
+	// the live one (zero means DefaultLiveDeadline). Exceeding it
+	// returns ErrTimeout.
 	Deadline time.Duration
+	// Ctx cancels the transfer: DownloadWith then returns Ctx.Err()
+	// (context.Canceled or context.DeadlineExceeded). On the live
+	// backend cancellation is honored mid-transfer, within one
+	// wake-up of the loop. The emulated backend runs synchronously in
+	// virtual time with no goroutine to preempt, so there Ctx is
+	// checked only on entry (a no-op mid-run) — use Deadline or
+	// Network.At to bound emulated transfers. Nil means no
+	// cancellation.
+	Ctx context.Context
 }
 
 // Download runs a blocking GET of size bytes on the client connection:
 // it arms the transfer, drives the virtual clock until completion, and
 // returns the result. It returns ErrTimeout if the transfer does not
-// finish within DefaultDownloadDeadline of virtual time.
+// finish within DefaultDownloadDeadline of virtual time, or
+// *AbortError if the connection died before completing.
 func (n *Network) Download(client *Conn, size uint64) (GetResult, error) {
 	return n.DownloadWith(client, size, DownloadOpts{})
 }
 
-// DownloadWith is Download with an explicit deadline.
+// DownloadWith is Download with explicit options.
 func (n *Network) DownloadWith(client *Conn, size uint64, opts DownloadOpts) (GetResult, error) {
+	if opts.Ctx != nil {
+		if err := opts.Ctx.Err(); err != nil {
+			return GetResult{}, err
+		}
+	}
 	deadline := opts.Deadline
 	if deadline <= 0 {
 		deadline = DefaultDownloadDeadline
@@ -232,10 +351,17 @@ func (n *Network) DownloadWith(client *Conn, size uint64, opts DownloadOpts) (Ge
 	if err := n.clock.RunUntil(n.clock.Now().Add(deadline)); err != nil {
 		return GetResult{}, err
 	}
-	if out == nil {
-		return GetResult{}, ErrTimeout
+	if out != nil {
+		return *out, nil
 	}
-	return *out, nil
+	if client.Closed() {
+		cerr := client.Err()
+		if cerr == nil {
+			cerr = errors.New("mpquic: connection closed")
+		}
+		return GetResult{}, &AbortError{Err: cerr}
+	}
+	return GetResult{}, ErrTimeout
 }
 
 // ReqRespClient drives the §4.3 request train; see apps.ReqRespClient.

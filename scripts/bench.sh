@@ -5,12 +5,13 @@
 # event loop, netem link transit) plus the smoke-grid macro benchmark,
 # and writes the numbers to a BENCH_*.json trajectory file so every PR
 # can compare its hot-path cost against the previous one. Full runs
-# also measure live-mode loopback throughput (a two-process 10 MB
-# two-path mpq-live transfer over real UDP sockets); the client's
-# metrics land in the "live_loopback" block, or null when the
+# also measure live-mode loopback throughput: two-process mpq-live
+# transfers over real UDP sockets, a {1,2 paths} x {10 MB, 100 MB}
+# matrix. Each client's metrics land under "live_loopback.runs", next
+# to the PR 7 pre-fast-lane baseline; runs are null when the
 # environment denies UDP.
 #
-#   scripts/bench.sh            # full run, writes BENCH_PR7.json
+#   scripts/bench.sh            # full run, writes BENCH_PR8.json
 #   scripts/bench.sh -smoke     # CI-sized sanity pass, no file output
 #   scripts/bench.sh -o F.json  # full run, write to F.json
 #
@@ -22,7 +23,7 @@ set -eu
 
 cd "$(dirname "$0")/.."
 
-out=BENCH_PR7.json
+out=BENCH_PR8.json
 mode=full
 while [ $# -gt 0 ]; do
     case "$1" in
@@ -61,17 +62,22 @@ if [ "$mode" = smoke ]; then
     exit 0
 fi
 
-# Live loopback throughput: a real two-process 10 MB transfer over two
-# loopback UDP paths (see scripts/live_smoke.sh for the gating smoke).
-# The client's -json metrics are embedded verbatim; environments that
-# deny UDP sockets record null instead of failing the bench run.
-echo "== live loopback transfer (mpq-live, 10 MB, two paths)"
-live_json=null
+# Live loopback throughput: real two-process transfers over loopback
+# UDP (see scripts/live_smoke.sh for the gating smoke). A {1,2 paths}
+# x {10 MB, 100 MB} matrix; each client's -json metrics are embedded
+# verbatim, and environments that deny UDP sockets record null runs
+# instead of failing the bench.
 livedir=$(mktemp -d)
-spid=
-if go build -o "$livedir/mpq-live" ./cmd/mpq-live; then
-    "$livedir/mpq-live" -server -once -idle 5s \
-        -listen 127.0.0.1:47651,127.0.0.1:47652 >"$livedir/server.log" 2>&1 &
+live_built=
+go build -o "$livedir/mpq-live" ./cmd/mpq-live && live_built=1
+
+# run_live <listen-addrs> <size-bytes> -> prints client JSON or "null"
+run_live() {
+    addrs=$1 size=$2 spid=
+    [ -n "$live_built" ] || { echo null; return; }
+    : >"$livedir/server.log"
+    "$livedir/mpq-live" -server -once -idle 10s \
+        -listen "$addrs" >"$livedir/server.log" 2>&1 &
     spid=$!
     i=0
     while ! grep -q '^listening' "$livedir/server.log" && kill -0 "$spid" 2>/dev/null; do
@@ -79,19 +85,30 @@ if go build -o "$livedir/mpq-live" ./cmd/mpq-live; then
         [ "$i" -gt 100 ] && break
         sleep 0.1
     done
-    if grep -q '^listening' "$livedir/server.log"; then
-        if "$livedir/mpq-live" -connect 127.0.0.1:47651,127.0.0.1:47652 \
-            -size 10000000 -timeout 60s -json >"$livedir/client.json"; then
-            live_json=$(cat "$livedir/client.json")
-            echo "   $live_json"
-        fi
+    if grep -q '^listening' "$livedir/server.log" &&
+        "$livedir/mpq-live" -connect "$addrs" -size "$size" \
+            -timeout 120s -json >"$livedir/client.json" 2>"$livedir/client.log"; then
+        cat "$livedir/client.json"
         wait "$spid" 2>/dev/null || true
-        spid=
     else
-        echo "   skipped: $(tail -1 "$livedir/server.log" 2>/dev/null || echo 'server did not start')"
+        kill "$spid" 2>/dev/null || true
+        wait "$spid" 2>/dev/null || true
+        echo null
     fi
-fi
-[ -n "$spid" ] && kill "$spid" 2>/dev/null || true
+}
+
+one_path=127.0.0.1:47651
+two_path=127.0.0.1:47651,127.0.0.1:47652
+
+echo "== live loopback matrix (mpq-live, {1,2 paths} x {10,100 MB})"
+live_1p_10m=$(run_live "$one_path" 10000000)
+echo "   1 path  10 MB:  $(printf '%s' "$live_1p_10m" | head -c 120)"
+live_2p_10m=$(run_live "$two_path" 10000000)
+echo "   2 paths 10 MB:  $(printf '%s' "$live_2p_10m" | head -c 120)"
+live_1p_100m=$(run_live "$one_path" 100000000)
+echo "   1 path  100 MB: $(printf '%s' "$live_1p_100m" | head -c 120)"
+live_2p_100m=$(run_live "$two_path" 100000000)
+echo "   2 paths 100 MB: $(printf '%s' "$live_2p_100m" | head -c 120)"
 rm -rf "$livedir"
 
 # Convert `go test -bench` lines into JSON records. Metric pairs are
@@ -131,7 +148,23 @@ results=$(awk '
     ]
   },
 EOF
-    printf '  "live_loopback": %s,\n' "$live_json"
+    cat <<'EOF'
+  "live_loopback": {
+    "baseline_pr7": {
+      "note": "pre-fast-lane live driver (PR 7): per-packet wake-ups, per-packet allocation, O(n^2) reassembly growth; 10 MB over two loopback paths",
+      "size_bytes": 10000000,
+      "paths": 2,
+      "transfer_s": 4.470463801,
+      "goodput_mbps": 17.895234937839056
+    },
+EOF
+    printf '    "runs": {\n'
+    printf '      "paths1_10mb": %s,\n' "$live_1p_10m"
+    printf '      "paths2_10mb": %s,\n' "$live_2p_10m"
+    printf '      "paths1_100mb": %s,\n' "$live_1p_100m"
+    printf '      "paths2_100mb": %s\n' "$live_2p_100m"
+    printf '    }\n'
+    printf '  },\n'
     printf '  "results": [\n'
     printf '%s\n' "$results"
     printf '  ]\n'

@@ -7,11 +7,18 @@
 # data and the summed per-path rate beats the best single path; the
 # client's -expect-aggregation flag enforces it).
 #
+# The 10 MB run also gates goodput: below MIN_GOODPUT_MBPS (default
+# 54, three times the 17.9 Mbps pre-fast-lane PR 7 baseline) the smoke
+# fails — the batched-I/O fast lane measures ~10x higher, so tripping
+# this means a real hot-path regression, not machine noise.
+#
 # Exits 0 with a notice when the environment denies UDP sockets, so
 # sandboxed checkouts are not failed for something they cannot do.
 set -eu
 
 cd "$(dirname "$0")/.."
+
+MIN_GOODPUT_MBPS=${MIN_GOODPUT_MBPS:-54}
 
 A1=127.0.0.1:47631
 A2=127.0.0.1:47632
@@ -65,6 +72,20 @@ echo "== live smoke: 1 MB, two paths"
 run_pair "$A1,$A2" 1000000
 
 echo "== live smoke: 10 MB, two paths, aggregation required"
-run_pair "$A1,$A2" 10000000 -expect-aggregation
+run_pair "$A1,$A2" 10000000 -expect-aggregation -json >"$tmp/client.json"
+cat "$tmp/client.json"
+
+# Goodput gate: extract goodput_mbps from the client's JSON and
+# compare against the floor (awk handles the float compare portably).
+goodput=$(sed -n 's/.*"goodput_mbps":\([0-9.eE+-]*\).*/\1/p' "$tmp/client.json")
+if [ -z "$goodput" ]; then
+    echo "live-smoke: no goodput_mbps in client output" >&2
+    exit 1
+fi
+if awk -v g="$goodput" -v min="$MIN_GOODPUT_MBPS" 'BEGIN { exit !(g < min) }'; then
+    echo "live-smoke: goodput $goodput Mbps below the $MIN_GOODPUT_MBPS Mbps floor" >&2
+    exit 1
+fi
+echo "goodput gate ok: $goodput Mbps >= $MIN_GOODPUT_MBPS Mbps"
 
 echo "live-smoke ok"
