@@ -1,7 +1,7 @@
 # Convenience targets; see scripts/check.sh for the pre-commit gate and
 # scripts/bench.sh for the perf harness.
 
-.PHONY: build test vet doclint fuzz-smoke bench bench-smoke live-smoke check
+.PHONY: build test vet escape doclint fuzz-smoke bench bench-smoke live-smoke check
 
 build:
 	go build ./...
@@ -12,6 +12,9 @@ test:
 vet:
 	go vet ./...
 	go run ./cmd/mpq-vet ./...
+
+escape:
+	go run ./cmd/mpq-escape ./...
 
 doclint:
 	go run ./scripts/doclint.go

@@ -228,16 +228,3 @@ func TestFabricContextCancelMidTransfer(t *testing.T) {
 		t.Fatalf("cancellation took %v, want prompt wake-up", el)
 	}
 }
-
-// The deprecated aliases still name the unified errors, so one
-// release of old code keeps compiling and matching.
-func TestFabricDeprecatedAliases(t *testing.T) {
-	if !errors.Is(mpquic.ErrLiveClosed, mpquic.ErrClosed) {
-		t.Fatal("ErrLiveClosed must alias ErrClosed")
-	}
-	var as *mpquic.LiveAbortError
-	err := error(&mpquic.AbortError{Err: errors.New("x")})
-	if !errors.As(err, &as) {
-		t.Fatal("*LiveAbortError must alias *AbortError")
-	}
-}

@@ -1,13 +1,14 @@
 // Package analysis is a stdlib-only static-analysis framework plus the
-// mpq-vet analyzer suite that proves the simulator's determinism and
-// pool-safety invariants.
+// mpq-vet analyzer suite that proves the simulator's determinism
+// invariants and the live fast lane's concurrency invariants.
 //
 // The API deliberately mirrors golang.org/x/tools/go/analysis — an
 // Analyzer is a named Run function over a type-checked package — but is
 // self-contained: packages are loaded with `go list -export` plus the
 // standard go/importer, so the suite builds offline with no
 // third-party dependencies. Each analyzer enforces one invariant the
-// scenario-grid artifacts depend on (see DESIGN.md, "Determinism
+// scenario-grid artifacts or the live throughput numbers depend on
+// (see DESIGN.md, "Determinism invariants" and "Live concurrency
 // invariants"):
 //
 //	walltime     no wall-clock reads outside the perf harness
@@ -16,13 +17,26 @@
 //	poolsafety   no use of pooled packet buffers after PutPacketBuf,
 //	             no DecodeBorrowed aliases escaping the handler
 //	eventhandle  no *sim.Event handles held outside sim.Timer
+//	confine      //mpq:confined members touched only from their
+//	             goroutine domain, rooted at //mpq:entry functions
+//	ringsafety   //mpq:ring buffers recycled exactly once per trip,
+//	             never escaping the ingress iteration
+//	blocking     run-loop-domain code never blocks outside the
+//	             //mpq:waitpoint
+//	annotation   every //mpq: directive is well-formed and anchored
+//	             where its analyzer will actually see it
+//
+// The //mpq:noescape directive is consumed by a separate
+// compiler-assisted gate (escape.go, cmd/mpq-escape) rather than an
+// Analyzer, since it needs `go build -gcflags=-m` output.
 //
 // A finding is suppressed by an explicit, audited annotation on the
 // offending line (or the line above):
 //
 //	//mpqvet:allow <analyzer> <reason>
 //
-// The reason is mandatory; a bare allow is itself an error. The
+// The reason is mandatory; a bare allow is itself an error, and so is
+// a stale allow that no longer matches any diagnostic. The
 // cmd/mpq-vet driver runs every analyzer over a package pattern and
 // exits non-zero on any unsuppressed diagnostic.
 package analysis
@@ -77,7 +91,10 @@ type Diagnostic struct {
 
 // All returns the mpq-vet analyzer suite in a fixed order.
 func All() []*Analyzer {
-	return []*Analyzer{Walltime, GlobalRand, MapOrder, PoolSafety, EventHandle}
+	return []*Analyzer{
+		Walltime, GlobalRand, MapOrder, PoolSafety, EventHandle,
+		Confine, RingSafety, Blocking, Annotation,
+	}
 }
 
 // ByName returns the named analyzer, or nil.
@@ -95,7 +112,9 @@ func ByName(name string) *Analyzer {
 // raised for malformed //mpqvet:allow annotations.
 func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 	var diags []Diagnostic
+	ran := make(map[string]bool, len(analyzers))
 	for _, a := range analyzers {
+		ran[a.Name] = true
 		pass := &Pass{
 			Analyzer:  a,
 			Fset:      pkg.Fset,
@@ -109,7 +128,7 @@ func RunAnalyzers(pkg *Package, analyzers []*Analyzer) ([]Diagnostic, error) {
 			return nil, fmt.Errorf("%s: %s: %w", pkg.PkgPath, a.Name, err)
 		}
 	}
-	diags, err := filterSuppressed(pkg, diags)
+	diags, err := filterSuppressed(pkg, diags, ran)
 	sort.SliceStable(diags, func(i, j int) bool {
 		pi, pj := pkg.Fset.Position(diags[i].Pos), pkg.Fset.Position(diags[j].Pos)
 		if pi.Filename != pj.Filename {

@@ -69,6 +69,12 @@ func check(t *testing.T, pkg *analysis.Package, diags []analysis.Diagnostic) {
 			for _, c := range cg.List {
 				text := strings.TrimPrefix(c.Text, "//")
 				text = strings.TrimSpace(text)
+				// A want may also be embedded after a nested "//", so a
+				// line whose only comment is an //mpq: directive can still
+				// carry an expectation: //mpq:bogus // want `unknown`.
+				if i := strings.Index(text, "// want"); i >= 0 {
+					text = strings.TrimSpace(text[i+2:])
+				}
 				if !strings.HasPrefix(text, "want ") && text != "want" {
 					continue
 				}

@@ -1,0 +1,12 @@
+package analysis_test
+
+import (
+	"testing"
+
+	"mpquic/internal/analysis"
+	"mpquic/internal/analysis/analysistest"
+)
+
+func TestAnnotation(t *testing.T) {
+	analysistest.Run(t, "testdata", analysis.Annotation, "annotation")
+}

@@ -1,0 +1,221 @@
+package analysis
+
+import (
+	"bufio"
+	"bytes"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"os/exec"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// The escape gate turns the live lane's 0-allocs/packet claim into a
+// static check: `go build -gcflags=-m` makes the compiler print its
+// escape-analysis verdicts, and any "escapes to heap"/"moved to heap"
+// diagnostic inside a function annotated //mpq:noescape fails the
+// gate. Unlike testing.AllocsPerRun this covers every path through the
+// function, not just the sampled one, and it runs from the build cache
+// (the compiler replays the diagnostics without recompiling), so it is
+// cheap enough for every CI run.
+//
+// One sharp edge, learned empirically: the compiler attributes an
+// inlined callee's escapes to the CALL-SITE line in the caller. A
+// //mpq:noescape function therefore must not inline allocating
+// callees; outline cold allocating paths (error formatting, refills)
+// into //go:noinline helpers.
+
+// NoescapeFunc is one //mpq:noescape-annotated function: its name and
+// the body's source-line range the gate polices.
+type NoescapeFunc struct {
+	Name      string // package-qualified, e.g. "live.(*Driver).ingest"
+	File      string // absolute path
+	StartLine int
+	EndLine   int
+}
+
+// EscapeViolation is one compiler escape diagnostic inside a
+// //mpq:noescape function.
+type EscapeViolation struct {
+	Func    NoescapeFunc
+	File    string // absolute path of the diagnostic
+	Line    int
+	Col     int
+	Message string // the compiler's text, e.g. "make([]byte, 2048) escapes to heap"
+}
+
+func (v EscapeViolation) String() string {
+	return fmt.Sprintf("%s:%d:%d: %s in //mpq:noescape func %s",
+		v.File, v.Line, v.Col, v.Message, v.Func.Name)
+}
+
+// EscapeReport is the outcome of one gate run.
+type EscapeReport struct {
+	// Funcs are the //mpq:noescape functions found, sorted by position.
+	Funcs []NoescapeFunc
+	// Violations are the escape diagnostics inside those functions.
+	Violations []EscapeViolation
+	// Skipped is non-empty when the toolchain produced no parseable
+	// -gcflags=-m output; the caller should skip loudly, not fail.
+	Skipped string
+}
+
+// escapeDiagRe matches one compiler diagnostic line: path:line:col: msg.
+var escapeDiagRe = regexp.MustCompile(`^(.+\.go):(\d+):(\d+): (.*)$`)
+
+// CheckEscapes runs the gate over the module at root for the given
+// package patterns (default ./...). It returns an error only for
+// infrastructure failures (the build itself failing, unreadable
+// sources); violations are data, not errors.
+func CheckEscapes(root string, patterns ...string) (*EscapeReport, error) {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	funcs, err := collectNoescapeFuncs(root, patterns)
+	if err != nil {
+		return nil, err
+	}
+	report := &EscapeReport{Funcs: funcs}
+
+	args := append([]string{"build", "-gcflags=-m"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = root
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go build -gcflags=-m %v: %v\n%s", patterns, err, stderr.String())
+	}
+
+	parsed := 0
+	scanner := bufio.NewScanner(&stderr)
+	scanner.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for scanner.Scan() {
+		m := escapeDiagRe.FindStringSubmatch(scanner.Text())
+		if m == nil {
+			continue // "# pkg" headers and wrapped lines
+		}
+		parsed++
+		msg := m[4]
+		if !strings.Contains(msg, "escapes to heap") && !strings.Contains(msg, "moved to heap") {
+			continue
+		}
+		file := m[1]
+		if !filepath.IsAbs(file) {
+			file = filepath.Join(root, file)
+		}
+		file = filepath.Clean(file)
+		line, _ := strconv.Atoi(m[2])
+		col, _ := strconv.Atoi(m[3])
+		for _, fn := range funcs {
+			if fn.File == file && fn.StartLine <= line && line <= fn.EndLine {
+				report.Violations = append(report.Violations, EscapeViolation{
+					Func: fn, File: file, Line: line, Col: col, Message: msg,
+				})
+			}
+		}
+	}
+	if err := scanner.Err(); err != nil {
+		return nil, fmt.Errorf("reading -gcflags=-m output: %v", err)
+	}
+	// A healthy -m run prints hundreds of "does not escape"/"inlining"
+	// lines. Zero parseable diagnostics means this toolchain's output is
+	// not something the gate understands — skip loudly rather than
+	// vacuously pass.
+	if parsed == 0 {
+		report.Skipped = "go build -gcflags=-m produced no parseable diagnostics; toolchain output format not recognized"
+	}
+	sort.Slice(report.Violations, func(i, j int) bool {
+		a, b := report.Violations[i], report.Violations[j]
+		if a.File != b.File {
+			return a.File < b.File
+		}
+		if a.Line != b.Line {
+			return a.Line < b.Line
+		}
+		return a.Col < b.Col
+	})
+	return report, nil
+}
+
+// collectNoescapeFuncs parses (syntax-only) every non-test file of the
+// packages matching patterns and records the //mpq:noescape functions'
+// body line ranges.
+func collectNoescapeFuncs(root string, patterns []string) ([]NoescapeFunc, error) {
+	listed, err := goList(root, patterns...)
+	if err != nil {
+		return nil, err
+	}
+	var funcs []NoescapeFunc
+	for _, p := range listed {
+		if p.DepOnly || p.Standard {
+			continue
+		}
+		for _, name := range p.GoFiles {
+			path := filepath.Join(p.Dir, name)
+			fset := token.NewFileSet()
+			f, err := parser.ParseFile(fset, path, nil, parser.ParseComments)
+			if err != nil {
+				return nil, err
+			}
+			pkgName := f.Name.Name
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || fd.Doc == nil {
+					continue
+				}
+				noescape := false
+				for _, d := range groupDirectives(fd.Doc) {
+					if d.name == "noescape" {
+						noescape = true
+					}
+				}
+				if !noescape {
+					continue
+				}
+				funcs = append(funcs, NoescapeFunc{
+					Name:      pkgName + "." + funcDisplayName(fd),
+					File:      filepath.Clean(path),
+					StartLine: fset.Position(fd.Body.Lbrace).Line,
+					EndLine:   fset.Position(fd.Body.Rbrace).Line,
+				})
+			}
+		}
+	}
+	sort.Slice(funcs, func(i, j int) bool {
+		if funcs[i].File != funcs[j].File {
+			return funcs[i].File < funcs[j].File
+		}
+		return funcs[i].StartLine < funcs[j].StartLine
+	})
+	return funcs, nil
+}
+
+// funcDisplayName renders a FuncDecl name with its receiver, matching
+// the compiler's "(*Driver).ingest" style.
+func funcDisplayName(fd *ast.FuncDecl) string {
+	if fd.Recv == nil || len(fd.Recv.List) == 0 {
+		return fd.Name.Name
+	}
+	recv := fd.Recv.List[0].Type
+	var b strings.Builder
+	switch t := recv.(type) {
+	case *ast.StarExpr:
+		b.WriteString("(*")
+		if id, ok := t.X.(*ast.Ident); ok {
+			b.WriteString(id.Name)
+		}
+		b.WriteString(")")
+	case *ast.Ident:
+		b.WriteString(t.Name)
+	default:
+		b.WriteString("(?)")
+	}
+	b.WriteString(".")
+	b.WriteString(fd.Name.Name)
+	return b.String()
+}

@@ -1,0 +1,347 @@
+package analysis
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// RingSafety generalizes poolsafety to driver-owned buffer rings: a
+// channel annotated `//mpq:ring` is a free-list whose element buffers
+// cycle get → fill → hand off/consume → recycle, exactly once per
+// trip. Within each function the analyzer tracks buffers drawn from a
+// ring (a direct `<-ring` receive, a call to a get-style helper that
+// returns one, or a reslice of a tracked buffer) and flags:
+//
+//   - any use after the buffer was recycled — a send back to the ring
+//     or a call to a put-style helper ("use-after-recycle"); a second
+//     recycle is itself a use, so double-puts are caught too
+//     (`defer` recycles run last and are exempt);
+//   - escapes that outlive the iteration: stores into struct fields,
+//     maps, slices or globals, and capture by deferred, go-launched or
+//     sim-scheduled closures.
+//
+// Returning a tracked buffer is sanctioned (the caller becomes the
+// owner — that is what a get-helper does), as is sending it over a
+// channel (ownership transfers with the message, the reader→driver
+// hand-off pattern). Get/put helpers are derived, not annotated: a
+// function that sends a parameter to a ring is a put helper for that
+// parameter; one that returns a value received from a ring is a get
+// helper. Like poolsafety, the check is flow-insensitive: any
+// syntactic use positioned after a non-deferred recycle is flagged.
+var RingSafety = &Analyzer{
+	Name: "ringsafety",
+	Doc: "forbid use-after-recycle, double recycle and iteration-escaping " +
+		"aliases of //mpq:ring buffer-ring elements",
+	Run: runRingSafety,
+}
+
+// ringHelpers records the derived get/put helper functions of one
+// package.
+type ringHelpers struct {
+	// putParam maps a put-style helper to the index of the parameter it
+	// recycles.
+	putParam map[*types.Func]int
+	// getters holds helpers that return a ring buffer.
+	getters map[*types.Func]bool
+}
+
+func runRingSafety(pass *Pass) (any, error) {
+	ann := collectAnnotations(pass)
+	if len(ann.ring) == 0 {
+		return nil, nil
+	}
+	helpers := deriveRingHelpers(pass, ann)
+	for _, f := range pass.Files {
+		if isTestFile(pass.Fset.Position(f.Pos()).Filename) {
+			continue
+		}
+		funcBodies(f, func(fn ast.Node, body *ast.BlockStmt) {
+			checkRingBody(pass, ann, helpers, fn, body)
+		})
+	}
+	return nil, nil
+}
+
+// isRingChan reports whether e denotes an //mpq:ring channel (a field
+// selector or identifier resolving to an annotated object).
+func isRingChan(info *types.Info, ann *annotations, e ast.Expr) bool {
+	switch e := ast.Unparen(e).(type) {
+	case *ast.SelectorExpr:
+		return ann.ring[info.Uses[e.Sel]]
+	case *ast.Ident:
+		return ann.ring[info.Uses[e]]
+	}
+	return false
+}
+
+// deriveRingHelpers scans every declared function for the get/put
+// idioms around annotated rings.
+func deriveRingHelpers(pass *Pass, ann *annotations) *ringHelpers {
+	h := &ringHelpers{putParam: make(map[*types.Func]int), getters: make(map[*types.Func]bool)}
+	info := pass.TypesInfo
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			obj, _ := info.Defs[fd.Name].(*types.Func)
+			if obj == nil {
+				continue
+			}
+			params := make(map[types.Object]int)
+			if fd.Type.Params != nil {
+				i := 0
+				for _, field := range fd.Type.Params.List {
+					for _, name := range field.Names {
+						params[info.Defs[name]] = i
+						i++
+					}
+				}
+			}
+			// Objects received from a ring inside this function.
+			received := make(map[types.Object]bool)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				switch n := n.(type) {
+				case *ast.SendStmt:
+					if isRingChan(info, ann, n.Chan) {
+						if vo := baseIdentObj(info, n.Value); vo != nil {
+							if idx, isParam := params[vo]; isParam {
+								h.putParam[obj] = idx
+							}
+						}
+					}
+				case *ast.AssignStmt:
+					for i, rhs := range n.Rhs {
+						if ue, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && ue.Op.String() == "<-" &&
+							isRingChan(info, ann, ue.X) && i < len(n.Lhs) {
+							if o := identObj(info, n.Lhs[i]); o != nil {
+								received[o] = true
+							}
+						}
+					}
+				case *ast.ReturnStmt:
+					for _, res := range n.Results {
+						if ue, ok := ast.Unparen(res).(*ast.UnaryExpr); ok && ue.Op.String() == "<-" &&
+							isRingChan(info, ann, ue.X) {
+							h.getters[obj] = true
+						}
+						if o := baseIdentObj(info, res); o != nil && received[o] {
+							h.getters[obj] = true
+						}
+					}
+				}
+				return true
+			})
+		}
+	}
+	return h
+}
+
+// baseIdentObj resolves e to the object of its base identifier,
+// looking through parens and slice expressions (b, b[:n] → b).
+func baseIdentObj(info *types.Info, e ast.Expr) types.Object {
+	for {
+		switch x := ast.Unparen(e).(type) {
+		case *ast.SliceExpr:
+			e = x.X
+		case *ast.Ident:
+			return identObj(info, x)
+		default:
+			return nil
+		}
+	}
+}
+
+// checkRingBody tracks ring buffers through one function body and
+// applies the lifecycle rules.
+func checkRingBody(pass *Pass, ann *annotations, helpers *ringHelpers, fn ast.Node, body *ast.BlockStmt) {
+	info := pass.TypesInfo
+
+	// calleeFunc resolves a call to a same-package declared function.
+	calleeFunc := func(call *ast.CallExpr) *types.Func {
+		var id *ast.Ident
+		switch e := call.Fun.(type) {
+		case *ast.Ident:
+			id = e
+		case *ast.SelectorExpr:
+			id = e.Sel
+		default:
+			return nil
+		}
+		f, _ := info.Uses[id].(*types.Func)
+		return f
+	}
+
+	// Pass A: collect tracked ring buffers (iterate to a fixpoint so
+	// reslice chains propagate). tracked maps each variable holding a
+	// ring buffer to the canonical object the buffer entered through —
+	// `view := b[:16]` puts view and b in one alias group, so recycling
+	// either kills both.
+	tracked := make(map[types.Object]types.Object)
+	for changed := true; changed; {
+		changed = false
+		ast.Inspect(body, func(n ast.Node) bool {
+			if lit, ok := n.(*ast.FuncLit); ok && lit.Body != body {
+				return false
+			}
+			as, ok := n.(*ast.AssignStmt)
+			if !ok {
+				return true
+			}
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				lo := identObj(info, as.Lhs[i])
+				if lo == nil || tracked[lo] != nil {
+					continue
+				}
+				root := types.Object(nil)
+				if ue, ok := ast.Unparen(rhs).(*ast.UnaryExpr); ok && ue.Op.String() == "<-" && isRingChan(info, ann, ue.X) {
+					root = lo
+				}
+				if call, ok := ast.Unparen(rhs).(*ast.CallExpr); ok {
+					if f := calleeFunc(call); f != nil && helpers.getters[f] {
+						root = lo
+					}
+				}
+				if o := baseIdentObj(info, rhs); o != nil && tracked[o] != nil {
+					root = tracked[o] // alias via b2 := b or b2 := b[:n]
+				}
+				if root != nil {
+					tracked[lo] = root
+					changed = true
+				}
+			}
+			return true
+		})
+	}
+	// canon resolves a variable to its alias group's root (itself when
+	// untracked, so recycles of plain parameters still register).
+	canon := func(o types.Object) types.Object {
+		if c := tracked[o]; c != nil {
+			return c
+		}
+		return o
+	}
+
+	// Pass B: collect recycle points (non-deferred ring sends and put
+	// calls) of any identifier.
+	type recycle struct {
+		obj types.Object
+		end ast.Node
+	}
+	var recycles []recycle
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.DeferStmt:
+			return false // a deferred recycle runs last; later uses are fine
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false
+			}
+		case *ast.SendStmt:
+			if isRingChan(info, ann, n.Chan) {
+				if o := baseIdentObj(info, n.Value); o != nil {
+					recycles = append(recycles, recycle{canon(o), n})
+				}
+			}
+		case *ast.CallExpr:
+			if f := calleeFunc(n); f != nil {
+				if idx, ok := helpers.putParam[f]; ok && idx < len(n.Args) {
+					if o := baseIdentObj(info, n.Args[idx]); o != nil {
+						recycles = append(recycles, recycle{canon(o), n})
+					}
+				}
+			}
+		}
+		return true
+	})
+
+	// Rule 1: no use after recycle (a second recycle is a use too), for
+	// the recycled variable and every alias in its group.
+	if len(recycles) > 0 {
+		ast.Inspect(body, func(n ast.Node) bool {
+			id, ok := n.(*ast.Ident)
+			if !ok {
+				return true
+			}
+			obj := info.Uses[id]
+			if obj == nil {
+				return true
+			}
+			for _, r := range recycles {
+				if canon(obj) == r.obj && id.Pos() > r.end.End() {
+					pass.Reportf(id.Pos(),
+						"%s is used after it was recycled to the buffer ring; the ring may already have "+
+							"handed it to another packet", id.Name)
+					return true
+				}
+			}
+			return true
+		})
+	}
+
+	// Rule 2: tracked buffers must not outlive the iteration.
+	if len(tracked) == 0 {
+		return
+	}
+	trackedSet := make(map[types.Object]bool, len(tracked))
+	for o := range tracked {
+		trackedSet[o] = true
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			if n.Body != body {
+				return false
+			}
+		case *ast.AssignStmt:
+			for i, lhs := range n.Lhs {
+				if !isEscapingLValue(info, lhs) {
+					continue
+				}
+				var rhs ast.Expr
+				if len(n.Rhs) == len(n.Lhs) {
+					rhs = n.Rhs[i]
+				} else if len(n.Rhs) == 1 {
+					rhs = n.Rhs[0]
+				}
+				if rhs == nil {
+					continue
+				}
+				if obj := capturedBorrow(info, rhs, trackedSet); obj != nil {
+					pass.Reportf(rhs.Pos(),
+						"storing %s in a field/map/global lets a ring buffer escape the ingress iteration", obj.Name())
+				}
+			}
+		case *ast.DeferStmt:
+			reportRingCapture(pass, n.Call, trackedSet, "a deferred closure")
+		case *ast.GoStmt:
+			reportRingCapture(pass, n.Call, trackedSet, "a goroutine")
+		case *ast.CallExpr:
+			if methodOn(info, n, simPkgPath, "Clock", "At", "After") ||
+				methodOn(info, n, simPkgPath, "Timer", "Reset", "ResetAfter") {
+				reportRingCapture(pass, n, trackedSet, "a scheduled closure")
+			}
+		}
+		return true
+	})
+}
+
+// reportRingCapture flags function-literal arguments capturing a
+// tracked ring buffer.
+func reportRingCapture(pass *Pass, call *ast.CallExpr, tracked map[types.Object]bool, what string) {
+	exprs := append([]ast.Expr{call.Fun}, call.Args...)
+	for _, arg := range exprs {
+		lit, ok := ast.Unparen(arg).(*ast.FuncLit)
+		if !ok {
+			continue
+		}
+		if obj := capturedBorrow(pass.TypesInfo, lit.Body, tracked); obj != nil {
+			pass.Reportf(lit.Pos(),
+				"%s captures ring buffer %s beyond the ingress iteration", what, obj.Name())
+		}
+	}
+}

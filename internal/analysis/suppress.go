@@ -15,21 +15,28 @@ import (
 // mandatory — suppressions are audited decisions, not escape hatches.
 const allowPrefix = "mpqvet:allow"
 
-// allowKey identifies the scope of one annotation: a (file, line)
-// suppresses the named analyzer on that line.
-type allowKey struct {
+// allowAnnotation is one //mpqvet:allow comment. It covers its own
+// line (trailing comment) and the line below (comment on its own
+// line).
+type allowAnnotation struct {
 	file     string
 	line     int
 	analyzer string
+	matched  bool // suppressed at least one diagnostic this run
+}
+
+// covers reports whether the annotation suppresses a diagnostic at
+// (file, line).
+func (a *allowAnnotation) covers(file string, line int) bool {
+	return a.file == file && (a.line == line || a.line+1 == line)
 }
 
 // collectAllows scans pkg's comments for //mpqvet:allow annotations.
-// It returns the set of (file, line, analyzer) suppressions and an
-// error listing any malformed annotation (unknown analyzer, missing
-// reason) — a bad allow must fail the build, or typos would silently
-// disable checks.
-func collectAllows(pkg *Package) (map[allowKey]bool, error) {
-	allows := make(map[allowKey]bool)
+// It returns the annotations and an error listing any malformed one
+// (unknown analyzer, missing reason) — a bad allow must fail the
+// build, or typos would silently disable checks.
+func collectAllows(pkg *Package) ([]*allowAnnotation, error) {
+	var allows []*allowAnnotation
 	var bad []string
 	for _, f := range pkg.Files {
 		for _, cg := range f.Comments {
@@ -49,10 +56,7 @@ func collectAllows(pkg *Package) (map[allowKey]bool, error) {
 					bad = append(bad, fmt.Sprintf("%s: //%s names unknown analyzer %q", pos, allowPrefix, name))
 					continue
 				}
-				// The annotation covers its own line (trailing comment)
-				// and the line below (comment on its own line).
-				allows[allowKey{pos.Filename, pos.Line, name}] = true
-				allows[allowKey{pos.Filename, pos.Line + 1, name}] = true
+				allows = append(allows, &allowAnnotation{file: pos.Filename, line: pos.Line, analyzer: name})
 			}
 		}
 	}
@@ -63,9 +67,13 @@ func collectAllows(pkg *Package) (map[allowKey]bool, error) {
 }
 
 // filterSuppressed drops diagnostics covered by an //mpqvet:allow
-// annotation. Malformed annotations surface as the returned error even
-// when there are no diagnostics.
-func filterSuppressed(pkg *Package, diags []Diagnostic) ([]Diagnostic, error) {
+// annotation. ran names the analyzers that actually executed this run:
+// an annotation for a ran analyzer that suppressed nothing is stale —
+// the code it excused has been fixed or moved — and is itself an
+// error, mirroring the malformed-annotation rule (an allow that does
+// nothing is a latent hole, not a no-op). Malformed annotations
+// surface as the returned error even when there are no diagnostics.
+func filterSuppressed(pkg *Package, diags []Diagnostic, ran map[string]bool) ([]Diagnostic, error) {
 	allows, err := collectAllows(pkg)
 	if err != nil {
 		return diags, err
@@ -76,10 +84,26 @@ func filterSuppressed(pkg *Package, diags []Diagnostic) ([]Diagnostic, error) {
 	kept := diags[:0]
 	for _, d := range diags {
 		pos := pkg.Fset.Position(d.Pos)
-		if allows[allowKey{pos.Filename, pos.Line, d.Analyzer}] {
-			continue
+		suppressed := false
+		for _, a := range allows {
+			if a.analyzer == d.Analyzer && a.covers(pos.Filename, pos.Line) {
+				a.matched = true
+				suppressed = true
+			}
 		}
-		kept = append(kept, d)
+		if !suppressed {
+			kept = append(kept, d)
+		}
+	}
+	var stale []string
+	for _, a := range allows {
+		if !a.matched && ran[a.analyzer] {
+			stale = append(stale, fmt.Sprintf("%s:%d: stale //%s %s: it suppresses no diagnostic; remove it",
+				a.file, a.line, allowPrefix, a.analyzer))
+		}
+	}
+	if len(stale) > 0 {
+		return kept, fmt.Errorf("%s", strings.Join(stale, "\n"))
 	}
 	return kept, nil
 }

@@ -50,10 +50,39 @@ func TestMalformedAllowAnnotationsFail(t *testing.T) {
 	}
 }
 
+// TestStaleAllowFails proves allows cannot rot in the other direction
+// either: an //mpqvet:allow that suppresses zero diagnostics is itself
+// an error — but only when the analyzer it names actually ran, so
+// `mpq-vet -analyzers maporder` does not reject the walltime allows it
+// never evaluated.
+func TestStaleAllowFails(t *testing.T) {
+	root := moduleRoot(t)
+	pkg, err := analysis.LoadFromDir(root, filepath.Join("testdata", "src", "staleallow"), "staleallow")
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = analysis.RunAnalyzers(pkg, analysis.All())
+	if err == nil {
+		t.Fatal("a stale //mpqvet:allow (matching zero diagnostics) was accepted")
+	}
+	if !strings.Contains(err.Error(), "stale") || !strings.Contains(err.Error(), "walltime") {
+		t.Errorf("stale allow not reported as such: %v", err)
+	}
+
+	// The same package is fine when walltime does not run: staleness is
+	// only judged for analyzers that executed.
+	if _, err := analysis.RunAnalyzers(pkg, []*analysis.Analyzer{analysis.MapOrder}); err != nil {
+		t.Errorf("allow for a non-run analyzer reported stale: %v", err)
+	}
+}
+
 // TestSuiteRegistry pins the analyzer names the //mpqvet:allow syntax
 // and the cmd/mpq-vet -analyzers flag depend on.
 func TestSuiteRegistry(t *testing.T) {
-	want := []string{"walltime", "globalrand", "maporder", "poolsafety", "eventhandle"}
+	want := []string{
+		"walltime", "globalrand", "maporder", "poolsafety", "eventhandle",
+		"confine", "ringsafety", "blocking", "annotation",
+	}
 	all := analysis.All()
 	if len(all) != len(want) {
 		t.Fatalf("suite has %d analyzers, want %d", len(all), len(want))

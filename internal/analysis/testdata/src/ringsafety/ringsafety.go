@@ -1,0 +1,110 @@
+// Package ringsafety exercises the buffer-ring lifecycle analyzer:
+// buffers drawn from an //mpq:ring channel are recycled exactly once
+// and never outlive the iteration that holds them.
+package ringsafety
+
+//mpq:ring
+var ring = make(chan []byte, 8)
+
+type driver struct {
+	//mpq:ring
+	freeCh chan []byte
+	sink   [][]byte
+	held   []byte
+	out    chan []byte
+}
+
+// get is a derived get-helper: it returns a buffer received from the
+// ring.
+func get(d *driver) []byte {
+	select {
+	case b := <-d.freeCh:
+		return b
+	default:
+		return make([]byte, 2048)
+	}
+}
+
+// put is a derived put-helper: it sends its parameter to the ring.
+func put(d *driver, b []byte) {
+	select {
+	case d.freeCh <- b:
+	default:
+	}
+}
+
+func useAfterRecycle(d *driver) byte {
+	b := get(d)
+	put(d, b)
+	return b[0] // want `b is used after it was recycled to the buffer ring`
+}
+
+func doublePut(d *driver) {
+	b := get(d)
+	put(d, b)
+	put(d, b) // want `b is used after it was recycled to the buffer ring`
+}
+
+func directSendThenUse(d *driver) int {
+	b := <-d.freeCh
+	d.freeCh <- b
+	return len(b) // want `b is used after it was recycled to the buffer ring`
+}
+
+func resliceAlias(d *driver) byte {
+	b := get(d)
+	view := b[:16]
+	put(d, b)
+	return view[0] // want `view is used after it was recycled to the buffer ring`
+}
+
+func storeField(d *driver) {
+	b := get(d)
+	d.held = b // want `storing b in a field/map/global lets a ring buffer escape`
+}
+
+func storeSlice(d *driver) {
+	b := get(d)
+	d.sink[0] = b // want `storing b in a field/map/global lets a ring buffer escape`
+}
+
+func deferCapture(d *driver) {
+	b := get(d)
+	defer func() { d.out <- b }() // want `a deferred closure captures ring buffer b`
+}
+
+func goCapture(d *driver) {
+	b := get(d)
+	go func() { _ = b[0] }() // want `a goroutine captures ring buffer b`
+}
+
+// transfer is the sanctioned hand-off: ownership moves with the
+// message, like the reader→driver recvCh send.
+func transfer(d *driver) {
+	b := get(d)
+	d.out <- b[:10]
+}
+
+// reuse is the sanctioned deferred recycle: the put runs last, after
+// every use.
+func reuse(d *driver) int {
+	b := get(d)
+	defer put(d, b)
+	return len(b)
+}
+
+// globalGet returns straight off the package-level ring.
+func globalGet() []byte { return <-ring }
+
+func globalUseAfter() byte {
+	b := globalGet()
+	ring <- b
+	return b[0] // want `b is used after it was recycled to the buffer ring`
+}
+
+// suppressed demonstrates the audited escape hatch.
+func suppressed(d *driver) byte {
+	b := get(d)
+	put(d, b)
+	return b[0] //mpqvet:allow ringsafety asserting the suppression path works
+}

@@ -1,0 +1,12 @@
+// Package staleallow carries an //mpqvet:allow that no longer
+// suppresses any diagnostic: the code it once excused has been fixed.
+// RunAnalyzers must reject it as stale when the named analyzer runs —
+// a do-nothing allow is a latent hole, not a no-op.
+package staleallow
+
+import "time"
+
+func fine() time.Duration {
+	//mpqvet:allow walltime this line stopped calling time.Now long ago
+	return time.Second
+}

@@ -56,7 +56,11 @@ func Download(d *Driver, client *core.Conn, size uint64, deadline time.Duration)
 }
 
 // DownloadWith is Download with explicit options (deadline plus
-// cancellation).
+// cancellation). The calling goroutine becomes the run-loop: it arms
+// the transfer on the driver's clock and then drives Run to
+// completion itself.
+//
+//mpq:entry run-loop
 func DownloadWith(d *Driver, client *core.Conn, size uint64, opts DownloadOpts) (apps.GetResult, error) {
 	var res *apps.GetResult
 	now := func() time.Duration { return d.clock.Now().Duration() }

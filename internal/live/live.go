@@ -185,29 +185,49 @@ type Stats struct {
 //
 // Setup (NewDriver, Dial/Listen, Register) happens before Run; the
 // goroutine calling Run then owns all protocol state until Run
-// returns. Close and Wake may be called from any goroutine.
+// returns. Close and Wake may be called from any goroutine. That
+// discipline is machine-checked: fields below carry //mpq:confined
+// and //mpq:crossing annotations that mpq-vet's confine, ringsafety
+// and blocking analyzers enforce (see DESIGN.md, "Live concurrency
+// invariants").
 type Driver struct {
-	clock    *sim.Clock
-	binder   *PathBinder
+	//mpq:confined run-loop
+	clock  *sim.Clock
+	binder *PathBinder
+	//mpq:confined run-loop
 	handlers map[netem.Addr]netem.Handler
-	egress   []netem.Datagram
+	//mpq:confined run-loop
+	egress []netem.Datagram
 
 	coalesce time.Duration
 	sockBuf  int
 
-	recvCh  chan packetIn
-	freeCh  chan []byte // the ingress buffer ring
-	wakeCh  chan struct{}
+	//mpq:crossing
+	recvCh chan packetIn
+	// freeCh is the ingress buffer ring.
+	//mpq:crossing
+	//mpq:ring
+	freeCh chan []byte
+	//mpq:crossing
+	wakeCh chan struct{}
+	//mpq:crossing
 	closeCh chan struct{}
+	//mpq:crossing
 	closeMu sync.Once
+	//mpq:crossing
 	readers sync.WaitGroup
 
-	inBatch   []packetIn
+	//mpq:confined run-loop
+	inBatch []packetIn
+	//mpq:confined run-loop
 	addrNames map[netip.AddrPort]netem.Addr
 
-	start   time.Time
+	//mpq:confined run-loop
+	start time.Time
+	//mpq:confined run-loop
 	started bool
 
+	//mpq:confined run-loop
 	Stats Stats
 }
 
@@ -247,6 +267,8 @@ func NewDriver(localAddrs []string, opts ...Option) (*Driver, error) {
 // Clock returns the driver's clock (implements core.DatagramSender).
 // Before Run it sits at the epoch; during Run it tracks wall-elapsed
 // time since Run started.
+//
+//mpq:confined run-loop
 func (d *Driver) Clock() *sim.Clock { return d.clock }
 
 // Binder returns the driver's path binder.
@@ -259,6 +281,8 @@ func (d *Driver) LocalAddrs() []netem.Addr { return d.binder.Locals() }
 
 // Register implements core.DatagramSender: ingress datagrams arriving
 // on the socket bound to addr are dispatched to h.
+//
+//mpq:confined run-loop
 func (d *Driver) Register(addr netem.Addr, h netem.Handler) {
 	d.handlers[addr] = h
 }
@@ -266,6 +290,9 @@ func (d *Driver) Register(addr netem.Addr, h netem.Handler) {
 // Send implements core.DatagramSender: the datagram is queued and
 // flushed to its socket when the current event batch finishes (egress
 // order is preserved). The payload must be wire-serialized.
+//
+//mpq:confined run-loop
+//mpq:noescape
 func (d *Driver) Send(dg netem.Datagram) {
 	d.egress = append(d.egress, dg)
 }
@@ -298,6 +325,8 @@ func (d *Driver) getIngressBuf() []byte {
 
 // putIngressBuf returns a consumed buffer to the ring (dropping it to
 // the garbage collector if the ring is full).
+//
+//mpq:noescape
 func (d *Driver) putIngressBuf(b []byte) {
 	if cap(b) != ingressBufCap {
 		return
@@ -310,7 +339,10 @@ func (d *Driver) putIngressBuf(b []byte) {
 
 // addrName interns the netem.Addr string identity of a source address,
 // so steady-state ingress does not allocate per packet. Driver
-// goroutine only.
+// goroutine only. (The cold miss path allocates inside ap.String();
+// the steady-state hit path is what //mpq:noescape pins.)
+//
+//mpq:noescape
 func (d *Driver) addrName(ap netip.AddrPort) netem.Addr {
 	if a, ok := d.addrNames[ap]; ok {
 		return a
@@ -322,6 +354,8 @@ func (d *Driver) addrName(ap netip.AddrPort) netem.Addr {
 
 // readLoop blocks on one socket, handing received datagrams to the
 // driver loop. It exits when the socket closes.
+//
+//mpq:entry reader
 func (d *Driver) readLoop(s *pathSocket) {
 	defer d.readers.Done()
 	for d.readOne(s) {
@@ -365,6 +399,8 @@ func (d *Driver) readOne(s *pathSocket) bool {
 // Run may be called again after returning (e.g. one Run per transfer
 // on a client driver); later calls keep the original epoch so sim
 // time stays monotone across them.
+//
+//mpq:entry run-loop
 func (d *Driver) Run(until func() bool) error {
 	if !d.started {
 		d.started = true
@@ -373,7 +409,10 @@ func (d *Driver) Run(until func() bool) error {
 	defer d.UpdateSocketStats()
 	timer := time.NewTimer(time.Hour)
 	if !timer.Stop() {
-		<-timer.C
+		select {
+		case <-timer.C:
+		default:
+		}
 	}
 	defer timer.Stop()
 	var armed time.Time // wall deadline the timer is armed at; zero when unarmed
@@ -411,6 +450,9 @@ func (d *Driver) Run(until func() bool) error {
 			}
 			armed = time.Time{}
 		}
+		// The loop's one designated blocking site: nothing to do until a
+		// packet, a timer deadline, a wake or a close arrives.
+		//mpq:waitpoint
 		select {
 		case p := <-d.recvCh:
 			if err := d.ingest(p); err != nil {
@@ -434,6 +476,8 @@ func (d *Driver) Run(until func() bool) error {
 
 // quantize rounds a sim deadline up to the coalescing grid (anchored
 // at the epoch), so deadlines within one granule share a wake-up.
+//
+//mpq:noescape
 func (d *Driver) quantize(dl time.Duration) time.Duration {
 	if d.coalesce <= 0 {
 		return dl
@@ -446,6 +490,8 @@ func (d *Driver) quantize(dl time.Duration) time.Duration {
 // batch, advances the clock once, and injects the whole batch — the
 // batched-ingress half of the fast lane: one wake-up, one clock step,
 // one egress flush for the entire burst.
+//
+//mpq:noescape
 func (d *Driver) ingest(first packetIn) error {
 	batch := append(d.inBatch[:0], first)
 drain:
@@ -493,6 +539,8 @@ drain:
 
 // recycleFrom returns the unprocessed tail of a batch to the ring
 // (error exits only).
+//
+//mpq:noescape
 func recycleFrom(d *Driver, batch []packetIn, from int) {
 	for i := from; i < len(batch); i++ {
 		if batch[i].buf != nil {
@@ -506,6 +554,8 @@ func recycleFrom(d *Driver, batch []packetIn, from int) {
 // duration, firing every protocol timer due on the way. Sim time
 // never moves backwards: a wake-up earlier than the current sim time
 // (sub-timer-resolution packet bursts) is a no-op.
+//
+//mpq:noescape
 func (d *Driver) advance() error {
 	el := sim.Time(time.Since(d.start))
 	if el > d.clock.Now() {
@@ -514,11 +564,23 @@ func (d *Driver) advance() error {
 	return nil
 }
 
+// structModeErr builds the misconfiguration error for a payload that
+// arrived as a struct instead of wire bytes. Kept out of flush (and
+// out of the inliner: the compiler attributes an inlined callee's
+// escapes to the call-site line) so flush stays //mpq:noescape.
+//
+//go:noinline
+func structModeErr(dg netem.Datagram) error {
+	return fmt.Errorf("live: struct-mode payload %s->%s; endpoints must enable Config.WireSerialization", dg.From, dg.To)
+}
+
 // flush writes every egress datagram queued during the step to the
 // socket owning its From address, in one pass over the persistent
 // scratch slice (consecutive datagrams from one path reuse the socket
 // and resolved-remote lookups). Write failures are packet loss
 // (counted, not fatal), as a real wire would drop them.
+//
+//mpq:noescape
 func (d *Driver) flush() error {
 	if len(d.egress) == 0 {
 		return nil
@@ -542,7 +604,7 @@ func (d *Driver) flush() error {
 		}
 		b, ok := core.RawBytes(dg)
 		if !ok {
-			firstErr = fmt.Errorf("live: struct-mode payload %s->%s; endpoints must enable Config.WireSerialization", dg.From, dg.To)
+			firstErr = structModeErr(dg)
 			continue
 		}
 		if dg.From != lastFrom || lastSock == nil {
@@ -569,12 +631,16 @@ func (d *Driver) flush() error {
 
 // Flush writes any queued egress immediately (e.g. a CONNECTION_CLOSE
 // sent after Run returned).
+//
+//mpq:confined run-loop
 func (d *Driver) Flush() error { return d.flush() }
 
 // UpdateSocketStats refreshes Stats.RcvQueueDrops from the kernel
 // (best-effort; see Stats). Run calls it on exit; call it directly
 // when reading stats without having driven the loop. Not safe
 // concurrently with a running Run (it writes Stats).
+//
+//mpq:confined run-loop
 func (d *Driver) UpdateSocketStats() {
 	d.Stats.RcvQueueDrops = d.binder.kernelDrops()
 }

@@ -123,6 +123,8 @@ func (c *Clock) alloc(at Time, fn func()) *Event {
 
 // release returns an executed or discarded event to the free list,
 // dropping its closure so captured state is collectable.
+//
+//mpq:noescape
 func (c *Clock) release(e *Event) {
 	e.fn = nil
 	c.free = append(c.free, e)
@@ -159,6 +161,7 @@ func (c *Clock) Pending() int { return len(c.heap) + len(c.nowQ) - c.nowHead }
 
 // --- inlined binary heap on []*Event ---
 
+//mpq:noescape
 func (c *Clock) heapPush(e *Event) {
 	c.heap = append(c.heap, e)
 	// Sift up.
@@ -177,6 +180,8 @@ func (c *Clock) heapPush(e *Event) {
 
 // heapPop removes and returns the heap minimum. The caller guarantees
 // the heap is non-empty.
+//
+//mpq:noescape
 func (c *Clock) heapPop() *Event {
 	h := c.heap
 	top := h[0]
@@ -210,6 +215,8 @@ func (c *Clock) heapPop() *Event {
 
 // peek returns the earliest scheduled event (possibly cancelled) without
 // removing it, or nil.
+//
+//mpq:noescape
 func (c *Clock) peek() *Event {
 	var qn *Event
 	if c.nowHead < len(c.nowQ) {
@@ -228,6 +235,8 @@ func (c *Clock) peek() *Event {
 // popNext removes and returns the earliest live event with deadline <=
 // deadline, or nil. Cancelled events encountered on the way are
 // discarded and recycled.
+//
+//mpq:noescape
 func (c *Clock) popNext(deadline Time) *Event {
 	for {
 		var qn *Event

@@ -86,6 +86,8 @@ func (p *Packet) Encode(sealer Sealer) []byte {
 // EncodeTo appends the serialized packet to buf and returns the
 // extended buffer, allocating only if buf lacks capacity. Pair with
 // GetPacketBuf/PutPacketBuf for an allocation-free encode path.
+//
+//mpq:noescape
 func (p *Packet) EncodeTo(buf []byte, sealer Sealer) []byte {
 	start := len(buf)
 	buf = p.Header.Append(buf, p.LargestAcked)
@@ -120,7 +122,11 @@ func Decode(b []byte, largestReceived PacketNumber, sealer Sealer) (*Packet, err
 // consume the frames (or copy what it keeps) before reusing or pooling
 // b. This is the receive hot path: the stream layer copies data into
 // its reassembly buffer immediately, so the borrow never outlives the
-// datagram delivery.
+// datagram delivery. (The *Packet itself is allocated inside decode,
+// which is not annotated; the gate pins this wrapper's own frame —
+// notably that b stays on the stack.)
+//
+//mpq:noescape
 func DecodeBorrowed(b []byte, largestReceived PacketNumber, sealer Sealer) (*Packet, error) {
 	return decode(b, largestReceived, sealer, true)
 }

@@ -20,20 +20,6 @@ import (
 // effectively-unbounded virtual deadline.
 const DefaultLiveDeadline = 2 * time.Minute
 
-// ErrLiveClosed is the former name of ErrClosed, from when only the
-// live backend had a Serve loop to stop.
-//
-// Deprecated: use ErrClosed; both backends return it. This alias is
-// kept for one release.
-var ErrLiveClosed = ErrClosed
-
-// LiveAbortError is the former name of AbortError, from when only the
-// live backend reported connection death as a typed error.
-//
-// Deprecated: use AbortError; both backends return it. This alias is
-// kept for one release.
-type LiveAbortError = AbortError
-
 // LiveOption tunes a live network at construction (see NewLiveWith).
 type LiveOption = live.Option
 

@@ -91,8 +91,8 @@ func TestLiveFacadeServeClosed(t *testing.T) {
 	server.Close()
 	select {
 	case err := <-done:
-		if !errors.Is(err, mpquic.ErrLiveClosed) {
-			t.Fatalf("Serve = %v, want ErrLiveClosed", err)
+		if !errors.Is(err, mpquic.ErrClosed) {
+			t.Fatalf("Serve = %v, want ErrClosed", err)
 		}
 	case <-time.After(5 * time.Second):
 		t.Fatal("Serve did not return after Close")

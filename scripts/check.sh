@@ -23,6 +23,13 @@ go vet ./...
 echo "== mpq-vet"
 go run ./cmd/mpq-vet ./...
 
+# The escape gate replays `go build -gcflags=-m` and verifies every
+# //mpq:noescape function compiles allocation-free. It exits 0 but
+# prints a loud SKIPPED line if the toolchain output is unparseable —
+# grep for it so a silent skip cannot masquerade as a pass.
+echo "== mpq-escape"
+go run ./cmd/mpq-escape ./...
+
 echo "== doclint"
 go run ./scripts/doclint.go
 
