@@ -1,7 +1,7 @@
 # Convenience targets; see scripts/check.sh for the pre-commit gate and
 # scripts/bench.sh for the perf harness.
 
-.PHONY: build test vet escape doclint fuzz-smoke bench bench-smoke live-smoke check
+.PHONY: build test vet escape doclint fuzz-smoke bench bench-smoke live-smoke chaos-smoke check
 
 build:
 	go build ./...
@@ -22,6 +22,7 @@ doclint:
 fuzz-smoke:
 	go test -run='^$$' -fuzz='^FuzzDecode$$' -fuzztime=30s ./internal/wire
 	go test -run='^$$' -fuzz='^FuzzDecodeBorrowed$$' -fuzztime=30s ./internal/wire
+	go test -run='^$$' -fuzz='^FuzzLiveIngress$$' -fuzztime=30s ./internal/live
 
 bench:
 	sh scripts/bench.sh
@@ -31,6 +32,9 @@ bench-smoke:
 
 live-smoke:
 	sh scripts/live_smoke.sh
+
+chaos-smoke:
+	sh scripts/chaos_smoke.sh
 
 check:
 	sh scripts/check.sh

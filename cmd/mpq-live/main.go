@@ -31,8 +31,10 @@ import (
 
 	"mpquic/internal/apps"
 	"mpquic/internal/core"
+	"mpquic/internal/faultnet"
 	"mpquic/internal/live"
 	"mpquic/internal/netem"
+	"mpquic/internal/perf"
 	"mpquic/internal/trace"
 )
 
@@ -55,10 +57,28 @@ func main() {
 			"wake-up coalescing granularity (0 disables; quantizes timer wake-ups and their qlog timestamps)")
 		sockBuf = flag.Int("sockbuf", live.DefaultSocketBuffer,
 			"SO_RCVBUF/SO_SNDBUF request per UDP socket in bytes (0 keeps the OS default)")
+		chaos = flag.String("chaos", "",
+			"deterministic socket-fault spec, e.g. 'seed=42;drop=0.01;kill@200ms:1;blackhole@1s+500ms:0' (see internal/faultnet)")
+		rebindMax = flag.Int("rebind-max", live.DefaultRebindMax,
+			"rebind attempts per degraded socket before its path is abandoned (0 disables self-healing)")
+		rebindBackoff = flag.Duration("rebind-backoff", live.DefaultRebindBackoff,
+			"first rebind delay; attempt k waits backoff<<min(k,6)")
 	)
 	flag.Parse()
 
-	driverOpts := []live.Option{live.WithCoalesce(*coalesce), live.WithSocketBuffer(*sockBuf)}
+	driverOpts := []live.Option{
+		live.WithCoalesce(*coalesce),
+		live.WithSocketBuffer(*sockBuf),
+		live.WithRebind(*rebindMax, *rebindBackoff),
+	}
+	if *chaos != "" {
+		opt, err := chaosOption(*chaos)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mpq-live: -chaos:", err)
+			os.Exit(2)
+		}
+		driverOpts = append(driverOpts, opt)
+	}
 	var err error
 	if *server {
 		err = runServer(splitAddrs(*listen), *idle, *crypto, *qlog, *once, driverOpts)
@@ -84,6 +104,27 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mpq-live:", err)
 		os.Exit(1)
 	}
+}
+
+// chaosOption compiles a -chaos spec into a driver option: a seeded
+// fault injector wrapped around every socket the driver binds. Scripted
+// events fire against a wall-anchored stopwatch started here — the
+// CLI reaches wall time through internal/perf, the audited package,
+// so the walltime analyzer holds for cmd/ (see internal/analysis).
+func chaosOption(spec string) (live.Option, error) {
+	seed, rates, script, err := faultnet.Parse(spec)
+	if err != nil {
+		return nil, err
+	}
+	opts := []faultnet.Option{faultnet.WithRates(rates)}
+	if len(script.Events) > 0 {
+		sw := perf.NewStopwatch()
+		opts = append(opts, faultnet.WithClock(sw.Elapsed), faultnet.WithScript(script))
+	}
+	inj := faultnet.New(seed, opts...)
+	return live.WithSocketWrapper(func(path int, c live.UDPConn) live.UDPConn {
+		return inj.Wrap(path, c)
+	}), nil
 }
 
 func splitAddrs(s string) []string {
@@ -197,6 +238,14 @@ type clientMetrics struct {
 	IngressBatches uint64 `json:"ingress_batches"`
 	MaxBatch       uint64 `json:"max_batch"`
 	RcvQueueDrops  uint64 `json:"rcv_queue_drops"`
+	// Fault-tolerance observability: the health ladder's counters
+	// (see live.Stats and DESIGN.md, "Live fault tolerance").
+	TransientReadErrs uint64 `json:"transient_read_errs"`
+	Rebinds           uint64 `json:"rebinds"`
+	RebindFailures    uint64 `json:"rebind_failures"`
+	CorruptDrops      uint64 `json:"corrupt_drops"`
+	PathsFailedLive   uint64 `json:"paths_failed_live"`
+	EgressDiscards    uint64 `json:"egress_discards"`
 }
 
 type pathMetrics struct {
@@ -208,6 +257,13 @@ type pathMetrics struct {
 	CwndBytes int     `json:"cwnd_bytes"`
 	SRTTms    float64 `json:"srtt_ms"`
 	Mbps      float64 `json:"mbps"`
+	// PF reports the path's local §4.3 potentially-failed state at the
+	// end of the transfer: true marks the paths the failover steered
+	// around. RemotePF mirrors the peer's PF declaration (PATHS frame)
+	// — on a download it is the data sender's failover decision, seen
+	// from here.
+	PF       bool `json:"pf"`
+	RemotePF bool `json:"remote_pf"`
 }
 
 // clientOpts bundles the client-side flag values.
@@ -268,6 +324,13 @@ func runClient(o clientOpts) error {
 		IngressBatches: d.Stats.IngressBatches,
 		MaxBatch:       d.Stats.MaxBatch,
 		RcvQueueDrops:  d.Stats.RcvQueueDrops,
+
+		TransientReadErrs: d.Stats.TransientReadErrs,
+		Rebinds:           d.Stats.Rebinds,
+		RebindFailures:    d.Stats.RebindFailures,
+		CorruptDrops:      d.Stats.CorruptDrops,
+		PathsFailedLive:   d.Stats.PathsFailedLive,
+		EgressDiscards:    d.Stats.EgressDiscards,
 	}
 	if s := m.TransferSecs; s > 0 {
 		m.GoodputMbps = float64(res.Size) * 8 / s / 1e6
@@ -281,6 +344,8 @@ func runClient(o clientOpts) error {
 			SentBytes: p.SentBytes,
 			CwndBytes: p.CC().Cwnd(),
 			SRTTms:    float64(p.RTT().SmoothedRTT()) / float64(time.Millisecond),
+			PF:        p.PotentiallyFailed(),
+			RemotePF:  p.RemotePF(),
 		}
 		if s := m.TransferSecs; s > 0 {
 			pm.Mbps = float64(p.RecvBytes) * 8 / s / 1e6
@@ -342,9 +407,20 @@ func printMetrics(m clientMetrics) {
 		fmt.Printf("ingress      %d batches (mean %.1f pkts, max %d), kernel drops %d\n",
 			m.IngressBatches, float64(m.PacketsIn)/float64(m.IngressBatches), m.MaxBatch, m.RcvQueueDrops)
 	}
+	if m.TransientReadErrs+m.Rebinds+m.RebindFailures+m.CorruptDrops+m.PathsFailedLive+m.EgressDiscards > 0 {
+		fmt.Printf("faults       transient reads %d, rebinds %d (failed attempts %d), corrupt drops %d, paths failed %d, egress discards %d\n",
+			m.TransientReadErrs, m.Rebinds, m.RebindFailures, m.CorruptDrops, m.PathsFailedLive, m.EgressDiscards)
+	}
 	for _, p := range m.Paths {
-		fmt.Printf("path %d       %s -> %s: recv %d B (%.2f Mbps), sent %d B, cwnd %d B, srtt %.1f ms\n",
-			p.ID, p.Local, p.Remote, p.RecvBytes, p.Mbps, p.SentBytes, p.CwndBytes, p.SRTTms)
+		pf := ""
+		if p.PF {
+			pf = " [pf]"
+		}
+		if p.RemotePF {
+			pf += " [remote-pf]"
+		}
+		fmt.Printf("path %d       %s -> %s: recv %d B (%.2f Mbps), sent %d B, cwnd %d B, srtt %.1f ms%s\n",
+			p.ID, p.Local, p.Remote, p.RecvBytes, p.Mbps, p.SentBytes, p.CwndBytes, p.SRTTms, pf)
 	}
 	fmt.Printf("best path    %.2f Mbps of %.2f Mbps aggregate\n", m.BestPathMbps, m.AggregateMbps)
 }

@@ -36,6 +36,15 @@ var udpReadMethods = []string{
 	"ReadMsgUDP", "ReadMsgUDPAddrPort",
 }
 
+// udpIfaceReadMethods are the UDP-specific read names also policed on
+// interface-typed receivers (live.UDPConn, faultnet.Conn): interface
+// dispatch hides the concrete *net.UDPConn from methodOn, but the call
+// blocks just the same. The generic names (Read, ReadFrom) stay
+// concrete-only so every io.Reader in run-loop code is not indicted.
+var udpIfaceReadMethods = []string{
+	"ReadFromUDP", "ReadFromUDPAddrPort", "ReadMsgUDP", "ReadMsgUDPAddrPort",
+}
+
 func runBlocking(pass *Pass) (any, error) {
 	g := buildDomainGraph(pass)
 	if len(g.ann.funcEntry) == 0 && len(g.ann.funcDomain) == 0 {
@@ -140,7 +149,8 @@ func checkBlockingCall(pass *Pass, g *domainGraph, call *ast.CallExpr) {
 		pass.Reportf(call.Pos(), "sync.WaitGroup.Wait blocks the run loop until other goroutines finish")
 		return
 	}
-	if methodOn(info, call, "net", "UDPConn", udpReadMethods...) {
+	if methodOn(info, call, "net", "UDPConn", udpReadMethods...) ||
+		ifaceMethodNamed(info, call, udpIfaceReadMethods...) {
 		pass.Reportf(call.Pos(),
 			"blocking socket read in run-loop code; reads belong to the reader goroutines")
 		return

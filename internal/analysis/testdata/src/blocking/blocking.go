@@ -8,12 +8,19 @@ import (
 	"time"
 )
 
+// udpConn mirrors the live driver's UDPConn interface: the same
+// blocking read hidden behind interface dispatch.
+type udpConn interface {
+	ReadFromUDPAddrPort(b []byte) (int, int, error)
+}
+
 type loop struct {
-	mu   sync.Mutex
-	wg   sync.WaitGroup
-	ch   chan int
-	done chan struct{}
-	sock *net.UDPConn
+	mu    sync.Mutex
+	wg    sync.WaitGroup
+	ch    chan int
+	done  chan struct{}
+	sock  *net.UDPConn
+	isock udpConn
 }
 
 // Run's select is the designated wait point: exempt despite having no
@@ -47,6 +54,7 @@ func (l *loop) handle(v int) {
 	}
 	l.poll()
 	l.readSock(make([]byte, 16))
+	l.readIface(make([]byte, 16))
 	l.drainOnExit()
 }
 
@@ -64,6 +72,12 @@ func (l *loop) poll() {
 // domain.
 func (l *loop) readSock(b []byte) {
 	l.sock.Read(b) // want `blocking socket read in run-loop code`
+}
+
+// readIface performs the same forbidden read through an interface —
+// how the fault-tolerant driver actually holds its sockets.
+func (l *loop) readIface(b []byte) {
+	l.isock.ReadFromUDPAddrPort(b) // want `blocking socket read in run-loop code`
 }
 
 // drainOnExit demonstrates the audited escape hatch.

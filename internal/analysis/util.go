@@ -62,6 +62,34 @@ func namedFromPkg(t types.Type, pkgPath, name string) bool {
 	return obj.Pkg() != nil && obj.Pkg().Path() == pkgPath && obj.Name() == name
 }
 
+// ifaceMethodNamed reports whether call invokes a method with one of
+// the given names on an interface-typed receiver. Interface dispatch
+// hides the concrete type from methodOn, so blocking-by-shape checks
+// (a UDP read behind live.UDPConn) use the method name instead.
+func ifaceMethodNamed(info *types.Info, call *ast.CallExpr, methods ...string) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	selection, ok := info.Selections[sel]
+	if !ok || selection.Kind() != types.MethodVal {
+		return false
+	}
+	recv := selection.Recv()
+	if recv == nil {
+		return false
+	}
+	if _, isIface := recv.Underlying().(*types.Interface); !isIface {
+		return false
+	}
+	for _, m := range methods {
+		if sel.Sel.Name == m {
+			return true
+		}
+	}
+	return false
+}
+
 // methodOn reports whether call is a method call whose receiver's type
 // is named recvName in package pkgPath (pointer or value receiver).
 // When methods is non-empty the method name must be one of them.

@@ -12,6 +12,40 @@ func TestWalltime(t *testing.T) {
 	analysistest.Run(t, "testdata", analysis.Walltime, "walltime")
 }
 
+// TestFaultnetWalltimeClean proves internal/faultnet earns its way
+// past the walltime analyzer instead of being allowlisted: the fault
+// injector observes time only through its injected Clock, so (a) the
+// real package produces zero findings without any exemption, and (b)
+// the exemption really is absent — wall-clock-reading code placed
+// under faultnet's import path still fires.
+func TestFaultnetWalltimeClean(t *testing.T) {
+	root := moduleRoot(t)
+
+	real, err := analysis.LoadFromDir(root, filepath.Join(root, "internal", "faultnet"), "mpquic/internal/faultnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := analysis.RunAnalyzers(real, []*analysis.Analyzer{analysis.Walltime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 0 {
+		t.Errorf("internal/faultnet produced %d walltime findings, want 0 (it must stay clock-injected): %v", len(diags), diags)
+	}
+
+	fixture, err := analysis.LoadFromDir(root, filepath.Join("testdata", "src", "perfpkg"), "mpquic/internal/faultnet")
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err = analysis.RunAnalyzers(fixture, []*analysis.Analyzer{analysis.Walltime})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(diags) != 2 {
+		t.Errorf("faultnet's import path is exempt from walltime (%d findings, want 2); it must not be allowlisted", len(diags))
+	}
+}
+
 // TestWalltimeAllowlist loads the same wall-clock-reading code under
 // each allowlisted import path (no findings) and under non-allowlisted
 // paths (two findings each). This proves the allowlist is path-based,

@@ -79,6 +79,13 @@ type Conn struct {
 	closed   bool
 	closeErr error
 
+	// corruptDrops counts ingress datagrams dropped because they did
+	// not decode: unparsable header, failed AEAD/frame decode, or a
+	// payload that is neither raw bytes nor a *wire.Packet. A real
+	// stack drops these silently; the counter makes "silently" visible
+	// (live mode surfaces it as Stats.CorruptDrops).
+	corruptDrops uint64
+
 	// Callbacks (all optional).
 	onHandshakeDone func()
 	onStreamOpen    func(*Stream)
@@ -372,6 +379,7 @@ func (c *Conn) HandleDatagram(dg netem.Datagram) {
 		// Identify the path first to pick the right PN context.
 		hdr, _, err := wire.ParseHeader(raw, wire.InvalidPacketNumber)
 		if err != nil {
+			c.corruptDrops++
 			return // corrupted: a real stack drops silently
 		}
 		largest := wire.InvalidPacketNumber
@@ -391,11 +399,13 @@ func (c *Conn) HandleDatagram(dg netem.Datagram) {
 		defer wire.PutPacketBuf(raw)
 		pkt, err = wire.DecodeBorrowed(raw, largest, sealer)
 		if err != nil {
+			c.corruptDrops++
 			return
 		}
 	} else if pl, ok := dg.Payload.(*wire.Packet); ok {
 		pkt = pl
 	} else {
+		c.corruptDrops++
 		return
 	}
 	if pkt.Header.ConnID != c.connID {
@@ -743,6 +753,47 @@ func (c *Conn) onPathRTO(p *Path) {
 			c.queuePathsFrame()
 		}
 	}
+}
+
+// CorruptDrops reports how many ingress datagrams this connection
+// dropped because they did not decode (see the corruptDrops field).
+func (c *Conn) CorruptDrops() uint64 { return c.corruptDrops }
+
+// FailPathsOn marks every open path bound to the given local address
+// potentially failed — the local-failure entry into §4.3's PF state.
+// onPathRTO covers the remote-loss signal (retransmission timeouts);
+// this covers the signal only the socket layer can see: the local
+// interface died (persistent read/write errors on the socket that
+// owns the address). The scheduler then steers traffic to surviving
+// paths and the PING probe machinery retests the path, exactly as
+// after an RTO-driven PF entry. Single-path connections are left
+// alone, mirroring onPathRTO's gating: with nowhere to steer, PF
+// would only suppress the retransmissions that effect recovery.
+//
+// Returns the number of paths newly marked. Safe to call repeatedly;
+// already-PF paths are skipped.
+func (c *Conn) FailPathsOn(local netem.Addr) int {
+	if c.closed || !c.cfg.Multipath || len(c.pathOrder) < 2 {
+		return 0
+	}
+	n := 0
+	for _, pid := range c.pathOrder {
+		p := c.paths[pid]
+		if p.Local != local || !p.open || p.potentiallyFailed {
+			continue
+		}
+		p.potentiallyFailed = true
+		n++
+		c.trace(trace.Event{Type: trace.PathFailed, Path: uint8(p.ID), Detail: "local socket failure"})
+	}
+	if n > 0 {
+		if c.cfg.PathsFrameOnFailure {
+			c.queuePathsFrame()
+		}
+		c.trySend()
+		c.resetTimer()
+	}
+	return n
 }
 
 // queuePathsFrame broadcasts the local view of all paths (IDs, PF

@@ -53,6 +53,11 @@ type Listener struct {
 	addrs  []netem.Addr
 	conns  map[wire.ConnectionID]*Conn
 	onConn []func(*Conn)
+
+	// corruptDrops counts datagrams dropped before any connection saw
+	// them (unparsable header / unknown payload kind); see
+	// Conn.CorruptDrops for the per-connection counterpart.
+	corruptDrops uint64
 }
 
 // Listen registers a server on the given addresses. nw is any
@@ -104,12 +109,14 @@ func (l *Listener) HandleDatagram(dg netem.Datagram) {
 	if dg.Raw != nil {
 		hdr, _, err := wire.ParseHeader(dg.Raw, wire.InvalidPacketNumber)
 		if err != nil {
+			l.corruptDrops++
 			return
 		}
 		cid = hdr.ConnID
 	} else if pl, ok := dg.Payload.(*wire.Packet); ok {
 		cid = pl.Header.ConnID
 	} else {
+		l.corruptDrops++
 		return
 	}
 	c, ok := l.conns[cid]
@@ -121,4 +128,25 @@ func (l *Listener) HandleDatagram(dg netem.Datagram) {
 		}
 	}
 	c.HandleDatagram(dg)
+}
+
+// CorruptDrops sums the undecodable-ingress drops across the listener
+// itself and every accepted connection.
+func (l *Listener) CorruptDrops() uint64 {
+	total := l.corruptDrops
+	for _, c := range l.Conns() {
+		total += c.CorruptDrops()
+	}
+	return total
+}
+
+// FailPathsOn relays a local socket failure to every accepted
+// connection (see Conn.FailPathsOn); returns the number of paths
+// newly marked potentially failed.
+func (l *Listener) FailPathsOn(local netem.Addr) int {
+	n := 0
+	for _, c := range l.Conns() {
+		n += c.FailPathsOn(local)
+	}
+	return n
 }

@@ -4,24 +4,43 @@ import (
 	"fmt"
 	"net"
 	"net/netip"
+	"sync/atomic"
 
 	"mpquic/internal/netem"
 )
 
-// pathSocket is one bound UDP socket: the real-world incarnation of a
-// local path address.
+// connBox wraps the active socket handle so it can sit behind an
+// atomic pointer (atomic.Pointer needs a concrete pointee; UDPConn is
+// an interface).
+type connBox struct{ c UDPConn }
+
+// pathSocket is one bound UDP socket slot: the real-world incarnation
+// of a local path address. The slot outlives any single socket — a
+// reader's rebind ladder may replace the conn — but the identity
+// (idx, local, ap) is fixed at bind time, which is what keeps the
+// binder's socks slice and byLocal map immutable after construction.
 type pathSocket struct {
-	conn  *net.UDPConn
+	// conn is the active socket, swapped atomically by the owning
+	// reader's rebind ladder and read by the run loop's flush.
+	//mpq:crossing
+	conn  atomic.Pointer[connBox]
+	idx   int            // path index (bind order): names the socket in traces and fault scripts
 	local netem.Addr     // the actually-bound "ip:port", the path identity
-	ap    netip.AddrPort // the same address as a value, for /proc matching
+	ap    netip.AddrPort // the same address as a value, for /proc matching and rebinding
 }
+
+// loadConn returns the active socket.
+func (s *pathSocket) loadConn() UDPConn { return s.conn.Load().c }
+
+// storeConn publishes a replacement socket.
+func (s *pathSocket) storeConn(c UDPConn) { s.conn.Store(&connBox{c: c}) }
 
 // PathBinder maps the address identities the core stack uses for its
 // paths onto real UDP endpoints. Core identifies a path by its
 // (local, remote) netem.Addr pair; in live mode those strings are
 // literal "ip:port" addresses, so the binder resolves:
 //
-//   - local netem.Addr → the bound *net.UDPConn that owns it (egress
+//   - local netem.Addr → the pathSocket slot that owns it (egress
 //     socket selection, one socket per local interface address);
 //   - remote netem.Addr → a resolved netip.AddrPort (egress
 //     destination), cached after the first lookup so the per-packet
@@ -34,28 +53,32 @@ type pathSocket struct {
 // the tests). Servers need no remote table up front: remotes are
 // learned per-datagram from the ingress source address.
 //
-// The binder is not safe for concurrent use; the driver goroutine
-// owns it (reader goroutines only touch the sockets, which are
-// internally synchronized).
+// The socks slice and byLocal map never mutate after construction
+// (rebinds swap a slot's conn pointer, not the slot); the remotes
+// cache is driver-goroutine-only (reader goroutines touch only the
+// slots' atomic conn).
 type PathBinder struct {
 	socks   []*pathSocket
 	byLocal map[netem.Addr]*pathSocket
 	remotes map[netem.Addr]netip.AddrPort
+	sockBuf int
 }
 
 // newPathBinder binds one UDP socket per local address. Addresses may
 // use port 0; the kernel-assigned port becomes part of the path
 // identity (see Locals). sockBuf is the SO_RCVBUF/SO_SNDBUF request
-// per socket. On error, already-bound sockets are closed.
-func newPathBinder(localAddrs []string, sockBuf int) (*PathBinder, error) {
+// per socket. wrap, when non-nil, interposes on every bound socket
+// (fault injection). On error, already-bound sockets are closed.
+func newPathBinder(localAddrs []string, sockBuf int, wrap SocketWrapper) (*PathBinder, error) {
 	if len(localAddrs) == 0 {
 		return nil, fmt.Errorf("live: need at least one local address")
 	}
 	b := &PathBinder{
 		byLocal: make(map[netem.Addr]*pathSocket, len(localAddrs)),
 		remotes: make(map[netem.Addr]netip.AddrPort),
+		sockBuf: sockBuf,
 	}
-	for _, a := range localAddrs {
+	for i, a := range localAddrs {
 		ua, err := net.ResolveUDPAddr("udp", a)
 		if err == nil && ua.IP == nil {
 			// A wildcard bind would make the local path identity
@@ -82,7 +105,12 @@ func newPathBinder(localAddrs []string, sockBuf int) (*PathBinder, error) {
 		}
 		lap := pc.LocalAddr().(*net.UDPAddr).AddrPort()
 		lap = netip.AddrPortFrom(lap.Addr().Unmap(), lap.Port())
-		s := &pathSocket{conn: pc, local: netem.Addr(lap.String()), ap: lap}
+		s := &pathSocket{idx: i, local: netem.Addr(lap.String()), ap: lap}
+		var c UDPConn = pc
+		if wrap != nil {
+			c = wrap(i, pc)
+		}
+		s.storeConn(c)
 		b.socks = append(b.socks, s)
 		b.byLocal[s.local] = s
 	}
@@ -105,10 +133,10 @@ func (b *PathBinder) NumPaths() int { return len(b.socks) }
 
 // LocalUDP returns the bound UDP address of local path endpoint i.
 func (b *PathBinder) LocalUDP(i int) *net.UDPAddr {
-	return b.socks[i].conn.LocalAddr().(*net.UDPAddr)
+	return net.UDPAddrFromAddrPort(b.socks[i].ap)
 }
 
-// socketFor returns the socket owning a local address, or nil.
+// socketFor returns the socket slot owning a local address, or nil.
 func (b *PathBinder) socketFor(local netem.Addr) *pathSocket {
 	return b.byLocal[local]
 }
@@ -150,9 +178,12 @@ func (b *PathBinder) kernelDrops() uint64 {
 	return total
 }
 
-// closeSockets closes every bound socket, unblocking reader loops.
+// closeSockets closes every slot's active socket, unblocking reader
+// loops. A reader mid-rebind may store a fresh conn concurrently; the
+// ladder re-checks the close flag after publishing and closes its own
+// conn then, so every socket is closed by at least one side.
 func (b *PathBinder) closeSockets() {
 	for _, s := range b.socks {
-		s.conn.Close()
+		s.loadConn().Close()
 	}
 }

@@ -76,7 +76,6 @@ package live
 import (
 	"errors"
 	"fmt"
-	"net"
 	"net/netip"
 	"sync"
 	"time"
@@ -84,6 +83,7 @@ import (
 	"mpquic/internal/core"
 	"mpquic/internal/netem"
 	"mpquic/internal/sim"
+	"mpquic/internal/trace"
 	"mpquic/internal/wire"
 )
 
@@ -139,14 +139,18 @@ func WithSocketBuffer(b int) Option {
 	return func(d *Driver) { d.sockBuf = b }
 }
 
-// packetIn is one received datagram crossing from a reader goroutine
-// into the driver loop. buf is ring-backed; ownership transfers with
-// the message and returns to the ring once the handler consumed it.
+// packetIn is one message crossing from a reader goroutine into the
+// driver loop: a received datagram (kind == evData) or a socket health
+// transition (see fault.go). For datagrams, buf is ring-backed;
+// ownership transfers with the message and returns to the ring once
+// the handler consumed it. For events, buf is nil and err carries the
+// cause where one exists.
 type packetIn struct {
-	local netem.Addr
-	from  netip.AddrPort
-	buf   []byte
-	err   error // terminal reader error; buf is nil
+	s    *pathSocket
+	from netip.AddrPort
+	buf  []byte
+	kind sockEventKind
+	err  error
 }
 
 // Stats counts driver-level activity (socket I/O, not protocol state;
@@ -157,8 +161,27 @@ type Stats struct {
 	BytesIn     uint64
 	BytesOut    uint64
 	NoHandler   uint64 // ingress dropped: no handler for the socket
-	NoRoute     uint64 // egress dropped: unknown local addr or bad remote
+	NoRoute     uint64 // egress dropped: unknown local addr, bad remote, or no route to host
 	WriteErrors uint64 // egress dropped: socket write failed (treated as loss)
+
+	// EgressDiscards counts egress datagrams discarded unsent because a
+	// fatal error earlier in the same flush aborted the batch (the
+	// remainder is dropped deliberately, and visibly, instead of being
+	// written after the driver has decided to die).
+	EgressDiscards uint64
+
+	// Socket health ladder counters (see fault.go).
+	TransientReadErrs uint64 // reader errors retried in place
+	SocketsDegraded   uint64 // rebind ladders entered (persistent failures)
+	Rebinds           uint64 // successful socket rebinds
+	RebindFailures    uint64 // failed rebind attempts
+	PathsFailedLive   uint64 // sockets abandoned after exhausting their ladder
+
+	// CorruptDrops sums the undecodable-ingress datagrams the protocol
+	// handlers silently dropped (unparsable header, undecodable
+	// payload): corrupted packets are loss, never a crash. Refreshed by
+	// UpdateSocketStats (and so when Run returns).
+	CorruptDrops uint64
 
 	// IngressBatches counts clock steps that injected at least one
 	// datagram; PacketsIn / IngressBatches is the mean batch size the
@@ -202,6 +225,27 @@ type Driver struct {
 	coalesce time.Duration
 	sockBuf  int
 
+	// Fault-tolerance knobs, immutable after NewDriver; the reader
+	// goroutines' rebind ladders read them, hence crossing.
+	//mpq:crossing
+	wrap SocketWrapper
+	//mpq:crossing
+	rebindMax int
+	//mpq:crossing
+	rebindBase time.Duration
+
+	//mpq:confined run-loop
+	tracer trace.Tracer
+	// fatal latches the error that must end Run (all sockets failed).
+	//mpq:confined run-loop
+	fatal error
+	// sockFailed marks sockets whose rebind ladder is exhausted.
+	//mpq:confined run-loop
+	sockFailed []bool
+	// writeFails counts consecutive persistent write errors per socket.
+	//mpq:confined run-loop
+	writeFails []int
+
 	//mpq:crossing
 	recvCh chan packetIn
 	// freeCh is the ingress buffer ring.
@@ -236,27 +280,33 @@ var _ core.DatagramSender = (*Driver)(nil)
 // NewDriver binds one UDP socket per local address (port 0 picks a
 // free port; see Driver.LocalAddrs for the bound result) and starts
 // its reader goroutines. The caller owns the driver until Close.
+//
+//mpq:confined run-loop
 func NewDriver(localAddrs []string, opts ...Option) (*Driver, error) {
 	d := &Driver{
-		clock:     sim.NewClock(),
-		handlers:  make(map[netem.Addr]netem.Handler),
-		coalesce:  DefaultCoalesce,
-		sockBuf:   DefaultSocketBuffer,
-		recvCh:    make(chan packetIn, recvQueueLen),
-		freeCh:    make(chan []byte, recvQueueLen+64),
-		wakeCh:    make(chan struct{}, 1),
-		closeCh:   make(chan struct{}),
-		inBatch:   make([]packetIn, 0, ingressBatchCap),
-		addrNames: make(map[netip.AddrPort]netem.Addr),
+		clock:      sim.NewClock(),
+		handlers:   make(map[netem.Addr]netem.Handler),
+		coalesce:   DefaultCoalesce,
+		sockBuf:    DefaultSocketBuffer,
+		rebindMax:  DefaultRebindMax,
+		rebindBase: DefaultRebindBackoff,
+		recvCh:     make(chan packetIn, recvQueueLen),
+		freeCh:     make(chan []byte, recvQueueLen+64),
+		wakeCh:     make(chan struct{}, 1),
+		closeCh:    make(chan struct{}),
+		inBatch:    make([]packetIn, 0, ingressBatchCap),
+		addrNames:  make(map[netip.AddrPort]netem.Addr),
 	}
 	for _, o := range opts {
 		o(d)
 	}
-	binder, err := newPathBinder(localAddrs, d.sockBuf)
+	binder, err := newPathBinder(localAddrs, d.sockBuf, d.wrap)
 	if err != nil {
 		return nil, err
 	}
 	d.binder = binder
+	d.sockFailed = make([]bool, len(binder.socks))
+	d.writeFails = make([]int, len(binder.socks))
 	for _, s := range binder.socks {
 		d.readers.Add(1)
 		go d.readLoop(s)
@@ -352,43 +402,82 @@ func (d *Driver) addrName(ap netip.AddrPort) netem.Addr {
 	return a
 }
 
-// readLoop blocks on one socket, handing received datagrams to the
-// driver loop. It exits when the socket closes.
+// readLoop owns one socket slot: it blocks in reads, retries
+// transient errors in place, and walks the rebind ladder (fault.go)
+// on persistent failures. It exits on driver close or when the slot's
+// ladder is exhausted — a dead socket never takes the driver down
+// while siblings are alive.
 //
 //mpq:entry reader
 func (d *Driver) readLoop(s *pathSocket) {
 	defer d.readers.Done()
-	for d.readOne(s) {
+	conn := s.loadConn()
+	transient := 0 // consecutive transient read errors on this conn
+	attempts := 0  // rebind attempts since the last successful read
+	for {
+		status, err := d.readOne(s, conn)
+		if status == readOK {
+			transient, attempts = 0, 0
+			continue
+		}
+		if status == readClosed {
+			return
+		}
+		if status == readTransient {
+			d.postEvent(packetIn{s: s, kind: evTransient, err: err})
+			transient++
+			if transient < transientReadLimit {
+				continue
+			}
+			// A storm of transient errors with no successful read in
+			// between is not transient: escalate to the ladder.
+		}
+		transient = 0
+		next, ok := d.rebindLadder(s, conn, err, &attempts)
+		if !ok {
+			return
+		}
+		conn = next
 	}
 }
 
+// readStatus classifies one readOne outcome for the reader loop.
+type readStatus uint8
+
+const (
+	readOK         readStatus = iota
+	readClosed                // driver shutting down: exit quietly
+	readTransient             // retry on the same conn
+	readPersistent            // conn is gone: rebind ladder
+)
+
 // readOne performs one blocking read and hands the datagram to the
-// driver loop, reporting whether the loop should continue. Buffer
-// ownership transfers with the channel send; every other exit recycles
-// the buffer back to the ring.
-func (d *Driver) readOne(s *pathSocket) bool {
+// driver loop. Buffer ownership transfers with the channel send; every
+// other exit recycles the buffer back to the ring.
+func (d *Driver) readOne(s *pathSocket, conn UDPConn) (readStatus, error) {
 	buf := d.getIngressBuf()
 	b := buf[:cap(buf)]
-	n, from, err := s.conn.ReadFromUDPAddrPort(b)
+	n, from, err := conn.ReadFromUDPAddrPort(b)
 	if err == nil {
 		// Unmap 4-in-6 so the string identity matches the literal
 		// "ip:port" the peer's binder published.
 		from = netip.AddrPortFrom(from.Addr().Unmap(), from.Port())
 		select {
-		case d.recvCh <- packetIn{local: s.local, from: from, buf: b[:n]}:
-			return true
+		case d.recvCh <- packetIn{s: s, from: from, buf: b[:n]}:
+			return readOK, nil
 		case <-d.closeCh:
-		}
-	} else if !errors.Is(err, net.ErrClosed) {
-		// Unconnected UDP sockets rarely error; anything else is
-		// terminal for this socket — surface it to Run.
-		select {
-		case d.recvCh <- packetIn{err: fmt.Errorf("live: read %s: %w", s.local, err)}:
-		case <-d.closeCh:
+			// Shutdown mid-handoff: fall through to the recycle.
 		}
 	}
 	d.putIngressBuf(b)
-	return false
+	switch {
+	case err == nil || d.closing():
+		return readClosed, err
+	case isPersistentErr(err):
+		return readPersistent, fmt.Errorf("live: read %s: %w", s.local, err)
+	default:
+		return readTransient, err
+	}
 }
 
 // Run drives the loop until the until condition reports true (checked
@@ -422,6 +511,12 @@ func (d *Driver) Run(until func() bool) error {
 		}
 		if until != nil && until() {
 			return nil
+		}
+		if d.fatal != nil {
+			// Every path socket has failed (see handleSockEvent); the
+			// until condition above still wins if the same batch that
+			// killed the last socket also completed the work.
+			return d.fatal
 		}
 		// Arm the wake-up at the wall image of the next sim deadline,
 		// quantized up to the coalescing grid. An already-armed timer
@@ -514,11 +609,14 @@ drain:
 	}
 	for i := range batch {
 		p := &batch[i]
-		if p.err != nil {
-			recycleFrom(d, batch, i+1)
-			return p.err
+		if p.kind != evData {
+			// A socket health transition riding the ingress crossing;
+			// fold it into stats/traces/PF state (fault.go).
+			d.handleSockEvent(p.s, p.kind, p.err)
+			*p = packetIn{}
+			continue
 		}
-		h := d.handlers[p.local]
+		h := d.handlers[p.s.local]
 		if h == nil {
 			d.Stats.NoHandler++
 			d.putIngressBuf(p.buf)
@@ -530,9 +628,14 @@ drain:
 		// The handler consumes the frames synchronously (see
 		// core.RawDatagram); its wire.PutPacketBuf is a no-op on ring
 		// buffers, so the buffer returns to the ring right here.
-		h.HandleDatagram(core.RawDatagram(d.addrName(p.from), p.local, p.buf))
+		h.HandleDatagram(core.RawDatagram(d.addrName(p.from), p.s.local, p.buf))
 		d.putIngressBuf(p.buf)
 		*p = packetIn{}
+	}
+	if d.fatal != nil {
+		// The batch marked the last live socket failed: nothing can
+		// move packets any more, so Run must surface it.
+		return d.fatal
 	}
 	return nil
 }
@@ -592,11 +695,15 @@ func (d *Driver) flush() error {
 		lastAP   netip.AddrPort
 		lastOK   bool
 	)
+	var lastConn UDPConn
 	var firstErr error
 	for i := range d.egress {
 		dg := d.egress[i]
 		d.egress[i] = netem.Datagram{} // drop the payload reference
 		if firstErr != nil {
+			// Fatal misconfiguration already detected: the rest of the
+			// batch is discarded unsent, counted so the loss is visible.
+			d.Stats.EgressDiscards++
 			if b, ok := core.RawBytes(dg); ok {
 				wire.PutPacketBuf(b)
 			}
@@ -610,6 +717,10 @@ func (d *Driver) flush() error {
 		if dg.From != lastFrom || lastSock == nil {
 			lastFrom = dg.From
 			lastSock = d.binder.socketFor(dg.From)
+			lastConn = nil
+			if lastSock != nil {
+				lastConn = lastSock.loadConn()
+			}
 		}
 		if dg.To != lastTo || !lastOK {
 			lastTo = dg.To
@@ -617,11 +728,12 @@ func (d *Driver) flush() error {
 		}
 		if lastSock == nil || !lastOK {
 			d.Stats.NoRoute++
-		} else if _, err := lastSock.conn.WriteToUDPAddrPort(b, lastAP); err != nil {
-			d.Stats.WriteErrors++
+		} else if _, err := lastConn.WriteToUDPAddrPort(b, lastAP); err != nil {
+			d.noteWriteErr(lastSock, err)
 		} else {
 			d.Stats.PacketsOut++
 			d.Stats.BytesOut += uint64(len(b))
+			d.writeFails[lastSock.idx] = 0
 		}
 		wire.PutPacketBuf(b)
 	}
@@ -635,7 +747,8 @@ func (d *Driver) flush() error {
 //mpq:confined run-loop
 func (d *Driver) Flush() error { return d.flush() }
 
-// UpdateSocketStats refreshes Stats.RcvQueueDrops from the kernel
+// UpdateSocketStats refreshes Stats.RcvQueueDrops from the kernel and
+// Stats.CorruptDrops from the registered protocol handlers
 // (best-effort; see Stats). Run calls it on exit; call it directly
 // when reading stats without having driven the loop. Not safe
 // concurrently with a running Run (it writes Stats).
@@ -643,6 +756,33 @@ func (d *Driver) Flush() error { return d.flush() }
 //mpq:confined run-loop
 func (d *Driver) UpdateSocketStats() {
 	d.Stats.RcvQueueDrops = d.binder.kernelDrops()
+	// Sum undecodable-ingress drops across the distinct handlers.
+	// Iterate sockets (bind order) rather than the handlers map so the
+	// walk is deterministic; several locals usually share one handler,
+	// deduped by identity below.
+	var seen []netem.Handler
+	var total uint64
+	for _, s := range d.binder.socks {
+		h := d.handlers[s.local]
+		if h == nil {
+			continue
+		}
+		dup := false
+		for _, prev := range seen {
+			if prev == h {
+				dup = true
+				break
+			}
+		}
+		if dup {
+			continue
+		}
+		seen = append(seen, h)
+		if cd, ok := h.(interface{ CorruptDrops() uint64 }); ok {
+			total += cd.CorruptDrops()
+		}
+	}
+	d.Stats.CorruptDrops = total
 }
 
 // Close shuts the driver down: sockets close (unblocking readers) and

@@ -184,6 +184,12 @@ func QlogEventName(t EventType) string {
 		return "connectivity:path_status_updated"
 	case HandshakeDone, ConnClosed:
 		return "connectivity:connection_state_updated"
+	case SocketDegraded:
+		return "live:socket_degraded"
+	case SocketRebound:
+		return "live:socket_rebound"
+	case SocketFailed:
+		return "live:socket_failed"
 	case LinkDown:
 		return "netem:link_down"
 	case LinkUp:
@@ -224,6 +230,12 @@ func (q *Qlog) Trace(ev Event) {
 		rec.Data = qlogConnStateData{New: "handshake_complete"}
 	case ConnClosed:
 		rec.Data = qlogConnStateData{New: "closed", Trigger: ev.Detail}
+	case SocketDegraded:
+		rec.Data = qlogPathData{PathID: ev.Path, PathStatus: "degraded", Endpoints: ev.Detail}
+	case SocketRebound:
+		rec.Data = qlogPathData{PathID: ev.Path, PathStatus: "available", Endpoints: ev.Detail}
+	case SocketFailed:
+		rec.Data = qlogPathData{PathID: ev.Path, PathStatus: "failed", Endpoints: ev.Detail}
 	case LinkDown, LinkUp, LinkReconfigured:
 		rec.Data = qlogLinkData{PathID: ev.Path, Detail: ev.Detail}
 	default:

@@ -46,6 +46,17 @@ const (
 	ConnClosed     EventType = "connection_closed"
 )
 
+// Event types emitted by the live driver's socket health ladder (see
+// internal/live): a socket hit a persistent error and its paths were
+// marked potentially failed; a rebind brought a fresh socket up on the
+// same local address; the rebind budget ran out and the path is dead
+// for the rest of the run.
+const (
+	SocketDegraded EventType = "socket_degraded"
+	SocketRebound  EventType = "socket_rebound"
+	SocketFailed   EventType = "socket_failed"
+)
+
 // Event types emitted by the network emulator (link lifecycle). These
 // explain dynamic scenarios: a link going down/up and runtime
 // reconfigurations (rate/delay/loss changes, loss-model or jitter
@@ -66,6 +77,7 @@ func AllEventTypes() []EventType {
 		CwndUpdated, RTOFired,
 		PathOpened, PathFailed, PathRecovered,
 		HandshakeDone, ConnClosed,
+		SocketDegraded, SocketRebound, SocketFailed,
 		LinkDown, LinkUp, LinkReconfigured,
 	}
 }

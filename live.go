@@ -38,6 +38,40 @@ func WithCoalesce(g time.Duration) LiveOption { return live.WithCoalesce(g) }
 // Stats.RcvQueueDrops.
 func WithSocketBuffer(b int) LiveOption { return live.WithSocketBuffer(b) }
 
+// UDPConn is the socket surface a live driver needs — the subset of
+// *net.UDPConn it calls. Substitute implementations (fault injection,
+// instrumentation) via WithSocketWrapper.
+type UDPConn = live.UDPConn
+
+// SocketWrapper intercepts every socket a live driver binds; see
+// WithSocketWrapper.
+type SocketWrapper = live.SocketWrapper
+
+// WithSocketWrapper interposes w on every UDP socket the live driver
+// binds — at construction and again on every rebind. The chaos
+// harness wires internal/faultnet's deterministic fault injector in
+// through this seam.
+func WithSocketWrapper(w SocketWrapper) LiveOption { return live.WithSocketWrapper(w) }
+
+// WithRebind sets the live driver's per-socket self-healing budget: up
+// to max rebind attempts per persistent socket failure, the k-th after
+// an exponential backoff of base<<min(k,6). While a socket is down its
+// paths are potentially failed (§4.3) and traffic steers to the
+// survivors; max <= 0 disables rebinding so a persistent error fails
+// the path immediately.
+func WithRebind(max int, base time.Duration) LiveOption { return live.WithRebind(max, base) }
+
+// WithLiveTracer attaches a tracer to the live driver itself: socket
+// health transitions (SocketDegraded/SocketRebound/SocketFailed) are
+// emitted there, stamped with wall-derived sim time. Protocol events
+// keep flowing through the endpoint config's tracer.
+func WithLiveTracer(t Tracer) LiveOption { return live.WithTracer(t) }
+
+// ErrAllPathsDown is returned by a live Serve/Download when every path
+// socket has exhausted its rebind ladder: the driver has no way left
+// to move packets.
+var ErrAllPathsDown = live.ErrAllPathsDown
+
 // LiveNetwork runs MPQUIC endpoints over real UDP sockets: one socket
 // per local path address, sim time mapped monotonically onto wall
 // time. Unlike Network, runs are not reproducible — the kernel and
